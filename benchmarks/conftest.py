@@ -1,0 +1,14 @@
+"""Shared configuration for the experiment harness.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module regenerates
+one experiment from DESIGN.md section 4 and prints its result rows through
+``repro.bench.report`` (shown with ``-s``, and asserted either way), so the
+harness both *measures* and *checks* the paper's claims.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _print_spacing(capsys):
+    yield

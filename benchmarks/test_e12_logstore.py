@@ -1,0 +1,145 @@
+"""E12 — GUA-with-simplification vs the record-of-updates strawman.
+
+Section 4: "it is in large part the possibility of heuristic simplification
+that makes the LDML algorithms more attractive than simply keeping a record
+of past updates and recomputing the state of the theory on each new query."
+
+Measured: total time for workloads mixing k updates with q interleaved
+queries, on three backends —
+
+* **gua**        incremental GUA, no simplification;
+* **gua+simp**   incremental GUA with periodic Section 4 simplification;
+* **log**        O(1) appends, full replay memoized per query burst.
+
+The paper's predicted shape: the log store is fine while queries are rare,
+and loses increasingly as the query/update ratio grows, while the
+maintained theory answers from its (simplified) incremental state.
+"""
+
+import time
+
+from repro.bench.report import print_table
+from repro.core.engine import Database
+from repro.core.logstore import LogStructuredStore
+
+UPDATES = 20
+
+
+def _stream():
+    updates = []
+    for i in range(UPDATES):
+        if i % 3 == 0:
+            updates.append(f"INSERT P(a{i}) | P(b{i}) WHERE T")
+        elif i % 3 == 1:
+            updates.append(f"INSERT P(c{i}) WHERE P(a{i-1})")
+        else:
+            updates.append(f"DELETE P(b{i-2}) WHERE T")
+    return updates
+
+
+def _query(i):
+    return f"P(a{(i // 3) * 3}) | P(c{(i // 3) * 3 + 1})"
+
+
+def _run_database(queries_every, simplify_every=None):
+    db = Database(simplify_every=simplify_every)
+    start = time.perf_counter()
+    for i, update in enumerate(_stream()):
+        db.update(update)
+        if queries_every and (i + 1) % queries_every == 0:
+            db.ask(_query(i))
+    return time.perf_counter() - start
+
+
+def _run_logstore(queries_every):
+    store = LogStructuredStore()
+    start = time.perf_counter()
+    for i, update in enumerate(_stream()):
+        store.apply(update)
+        if queries_every and (i + 1) % queries_every == 0:
+            store.ask(_query(i))
+    return time.perf_counter() - start
+
+
+def test_update_query_mix(benchmark):
+    mixes = [(0, "updates only"), (10, "query every 10"),
+             (4, "query every 4"), (1, "query every update")]
+    rows = []
+    for queries_every, label in mixes:
+        gua_seconds = _run_database(queries_every)
+        simp_seconds = _run_database(queries_every, simplify_every=4)
+        log_seconds = _run_logstore(queries_every)
+        rows.append([label, gua_seconds, simp_seconds, log_seconds])
+    print_table(
+        "E12: total seconds for 20 updates + interleaved queries",
+        ["workload", "gua", "gua+simplify", "log-replay"],
+        rows,
+        note="Section 4: recomputation loses as the query rate grows",
+    )
+    # Shape assertions: on the write-only stream the log store is the
+    # cheapest (appends are free)...
+    assert rows[0][3] < rows[0][1]
+    # ...and on the query-per-update stream it is the most expensive.
+    assert rows[3][3] > rows[3][1]
+    assert rows[3][3] > rows[3][2]
+
+    benchmark(lambda: _run_database(4, simplify_every=4))
+
+
+def test_backends_agree(benchmark):
+    """Fairness check: all three backends answer identically."""
+
+    def run():
+        db = Database()
+        simp = Database(simplify_every=3)
+        log = LogStructuredStore()
+        for update in _stream():
+            db.update(update)
+            simp.update(update)
+            log.apply(update)
+        answers = []
+        for i in range(0, UPDATES, 5):
+            query = _query(i)
+            a, b, c = (
+                db.ask(query).status,
+                simp.ask(query).status,
+                log.ask(query).status,
+            )
+            assert a == b == c, (query, a, b, c)
+            answers.append(a)
+        return answers
+
+    answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E12b: backend agreement",
+        ["queries checked", "all agree"],
+        [[len(answers), "yes"]],
+    )
+
+
+def test_compaction_restores_log_store(benchmark):
+    """Checkpointing (compact) brings replay cost back down."""
+    store = LogStructuredStore()
+    store.run_script(_stream())
+
+    start = time.perf_counter()
+    store.ask("P(a0)")
+    first_query = time.perf_counter() - start
+
+    store.compact()
+    store.apply("INSERT P(z) WHERE T")
+
+    start = time.perf_counter()
+    store.ask("P(a0)")
+    after_compact = time.perf_counter() - start
+
+    print_table(
+        "E12c: log-store query cost before/after compaction",
+        ["state", "seconds"],
+        [
+            [f"{UPDATES}-entry log", first_query],
+            ["compacted + 1 entry", after_compact],
+        ],
+    )
+    assert after_compact < first_query
+    benchmark(lambda: store.ask("P(a0)"))

@@ -1,0 +1,67 @@
+"""E1 — Theorem 1's commutative diagram, measured.
+
+Claim (Sections 3.2-3.3): updating the theory with GUA produces exactly the
+alternative worlds of updating every world individually.  This experiment
+runs a randomized update stream through both paths, asserts set equality,
+and times each path (the timing comparison is elaborated in E10).
+"""
+
+import random
+
+from repro.bench.report import print_table
+from repro.bench.workload import atom_pool, random_theory, update_stream
+from repro.core.gua import gua_run_script
+from repro.core.naive import NaiveWorldStore
+
+SEED = 1986
+STREAM_LENGTH = 6
+
+
+def _workload():
+    rng = random.Random(SEED)
+    theory = random_theory(rng, n_atoms=5, n_wffs=3)
+    updates = update_stream(rng, atom_pool(5), STREAM_LENGTH, body_depth=1)
+    return theory, updates
+
+
+def test_diagram_commutes_on_randomized_stream(benchmark):
+    theory, updates = _workload()
+
+    def both_paths():
+        gua_theory = theory.copy()
+        gua_run_script(gua_theory, updates)
+        naive = NaiveWorldStore.from_theory(theory).run_script(updates)
+        return gua_theory.world_set(), naive.worlds
+
+    gua_worlds, naive_worlds = benchmark(both_paths)
+    assert gua_worlds == naive_worlds
+    print_table(
+        "E1: commutative diagram (randomized stream)",
+        ["seed", "updates", "worlds via GUA", "worlds via naive", "equal"],
+        [[SEED, STREAM_LENGTH, len(gua_worlds), len(naive_worlds), "yes"]],
+        note="Theorem 1: both paths around the diagram agree",
+    )
+
+
+def test_diagram_commutes_across_seeds(benchmark):
+    def run_many():
+        agreements = 0
+        trials = 15
+        for seed in range(trials):
+            rng = random.Random(seed)
+            theory = random_theory(rng, n_atoms=4, n_wffs=2)
+            updates = update_stream(rng, atom_pool(4), 3, body_depth=1)
+            gua_theory = theory.copy()
+            gua_run_script(gua_theory, updates)
+            naive = NaiveWorldStore.from_theory(theory).run_script(updates)
+            if gua_theory.world_set() == naive.worlds:
+                agreements += 1
+        return agreements, trials
+
+    agreements, trials = benchmark(run_many)
+    assert agreements == trials
+    print_table(
+        "E1: agreement rate across seeds",
+        ["trials", "agreements"],
+        [[trials, agreements]],
+    )

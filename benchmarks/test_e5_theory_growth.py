@@ -1,0 +1,71 @@
+"""E5 — each GUA update grows the theory by O(g) (Section 3.6).
+
+A long stream of same-shaped updates must add a bounded number of nodes per
+update (independent of the theory's current size), and the added size must
+scale linearly with g.
+"""
+
+from repro.bench.measure import fit_linear, fit_power_law
+from repro.bench.report import print_table
+from repro.bench.workload import populated_theory, update_with_g_atoms
+from repro.core.gua import GuaExecutor
+
+STREAM = 60
+G_SWEEP = [1, 2, 4, 8, 16]
+
+
+def test_growth_per_update_is_constant_for_fixed_g(benchmark):
+    def run():
+        theory = populated_theory(100)
+        executor = GuaExecutor(theory)
+        sizes = [theory.size()]
+        for i in range(STREAM):
+            executor.apply(update_with_g_atoms(3, offset=10 * i))
+            sizes.append(theory.size())
+        return sizes
+
+    sizes = benchmark(run)
+    deltas = [sizes[i + 1] - sizes[i] for i in range(STREAM)]
+    early = sum(deltas[:10]) / 10
+    late = sum(deltas[-10:]) / 10
+    rows = [
+        ["updates applied", STREAM],
+        ["mean delta (first 10)", early],
+        ["mean delta (last 10)", late],
+        ["max delta", max(deltas)],
+        ["total growth", sizes[-1] - sizes[0]],
+    ]
+    print_table(
+        "E5a: theory growth per update (g=3, 60 updates)",
+        ["metric", "value"],
+        rows,
+        note="O(g) claim: per-update delta flat — no dependence on theory size",
+    )
+    # The per-update delta must not trend upward with theory size.
+    assert late <= early * 1.5 + 2, (early, late)
+
+
+def test_growth_scales_linearly_with_g(benchmark):
+    def run():
+        results = []
+        for g in G_SWEEP:
+            theory = populated_theory(50)
+            executor = GuaExecutor(theory)
+            before = theory.size()
+            executor.apply(update_with_g_atoms(g))
+            results.append((g, theory.size() - before))
+        return results
+
+    results = benchmark(run)
+    gs = [g for g, _ in results]
+    added = [delta for _, delta in results]
+    exponent = fit_power_law(gs, added)
+    slope = fit_linear(gs, added)
+    print_table(
+        "E5b: nodes added per update vs g",
+        ["g", "nodes added"],
+        results,
+        note=f"power-law exponent {exponent:.3f} (~1 = linear), "
+        f"slope {slope:.2f} nodes per atom",
+    )
+    assert 0.7 < exponent < 1.3, exponent

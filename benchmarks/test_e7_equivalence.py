@@ -1,0 +1,151 @@
+"""E7/E8 — the Section 3.4 equivalence theorems, validated and measured.
+
+E7: Theorem 3 and Theorem 4 deciders vs the brute-force oracle over a
+systematic update-pair corpus — the decider must agree with ground truth on
+every pair, and run much faster than enumeration as atoms grow.
+
+E8: the paper's own example verdicts, printed as a table.
+"""
+
+import itertools
+
+from repro.bench.report import print_table
+from repro.ldml.ast import Insert
+from repro.ldml.equivalence import (
+    are_equivalent,
+    equivalent_by_enumeration,
+    theorem2_sufficient,
+    theorem3_equivalent,
+    theorem4_equivalent,
+)
+from repro.logic.parser import parse
+
+BODIES = ["T", "F", "P(p)", "!P(p)", "P(q)", "P(p) & P(q)", "P(p) | P(q)",
+          "P(p) | T", "P(p) <-> P(q)"]
+CLAUSES = ["T", "P(p)", "P(g)", "P(p) & P(q)"]
+CLAUSE_PAIRS = [("P(p)", "T"), ("P(p)", "P(q)"), ("P(g)", "!P(g)")]
+
+
+def _insert(body, where="T"):
+    return Insert(parse(body), parse(where))
+
+
+def test_theorem3_decider_agrees_with_oracle(benchmark):
+    def sweep():
+        agree = total = equivalent_pairs = 0
+        for where in CLAUSES:
+            for b1, b2 in itertools.combinations(BODIES, 2):
+                first, second = _insert(b1, where), _insert(b2, where)
+                decided = theorem3_equivalent(first, second)
+                truth = equivalent_by_enumeration(first, second)
+                total += 1
+                agree += decided == truth
+                equivalent_pairs += truth
+        return agree, total, equivalent_pairs
+
+    agree, total, equivalent_pairs = benchmark(sweep)
+    assert agree == total
+    print_table(
+        "E7a: Theorem 3 decider vs brute-force oracle",
+        ["update pairs", "decider agrees", "equivalent pairs found"],
+        [[total, agree, equivalent_pairs]],
+    )
+
+
+def test_theorem4_decider_agrees_with_oracle(benchmark):
+    def sweep():
+        agree = total = 0
+        for phi1, phi2 in CLAUSE_PAIRS:
+            for b1, b2 in itertools.product(BODIES[:7], repeat=2):
+                first, second = _insert(b1, phi1), _insert(b2, phi2)
+                decided = theorem4_equivalent(first, second)
+                truth = equivalent_by_enumeration(first, second)
+                total += 1
+                agree += decided == truth
+        return agree, total
+
+    agree, total = benchmark(sweep)
+    assert agree == total
+    print_table(
+        "E7b: Theorem 4 decider vs brute-force oracle",
+        ["update pairs", "decider agrees"],
+        [[total, agree]],
+    )
+
+
+def test_theorem2_sufficiency(benchmark):
+    def sweep():
+        sufficient_hits = sound = 0
+        for b1, b2 in itertools.product(BODIES, repeat=2):
+            first, second = _insert(b1, "P(g)"), _insert(b2, "P(g)")
+            if theorem2_sufficient(first, second):
+                sufficient_hits += 1
+                sound += equivalent_by_enumeration(first, second)
+        return sufficient_hits, sound
+
+    hits, sound = benchmark(sweep)
+    assert hits == sound  # every Theorem-2 verdict is correct
+    print_table(
+        "E7c: Theorem 2 sufficient condition",
+        ["pairs flagged equivalent", "actually equivalent"],
+        [[hits, sound]],
+    )
+
+
+def test_e8_paper_example_verdicts(benchmark):
+    examples = [
+        ("INSERT p WHERE T", _insert("P(p)"), "INSERT p|T WHERE T",
+         _insert("P(p) | T"), False),
+        ("INSERT q WHERE p&q", _insert("P(q)", "P(p) & P(q)"),
+         "INSERT p WHERE p&q", _insert("P(p)", "P(p) & P(q)"), True),
+        ("INSERT T WHERE T", _insert("T"), "INSERT g|!g WHERE T",
+         _insert("P(g) | !P(g)"), False),
+    ]
+
+    def evaluate_all():
+        return [
+            (are_equivalent(first, second), equivalent_by_enumeration(first, second))
+            for _, first, _, second, _ in examples
+        ]
+
+    verdicts = benchmark(evaluate_all)
+    rows = []
+    for (label1, _, label2, _, expected), (decided, brute) in zip(
+        examples, verdicts
+    ):
+        assert decided == brute == expected
+        rows.append([label1, label2, "equivalent" if decided else "different",
+                     "equivalent" if expected else "different"])
+    print_table(
+        "E8: paper's example update pairs (Sections 3.2/3.4)",
+        ["update B1", "update B2", "decided", "paper"],
+        rows,
+    )
+
+
+def test_decider_faster_than_enumeration(benchmark):
+    """The point of the theorems: deciding equivalence without enumerating
+    worlds.  With many atoms the oracle is exponential; the decider is not."""
+    import time
+
+    wide_body_1 = " & ".join(f"P(x{i})" for i in range(9))
+    wide_body_2 = " & ".join(f"P(x{i})" for i in reversed(range(9)))
+    first, second = _insert(wide_body_1), _insert(wide_body_2)
+
+    start = time.perf_counter()
+    decided = theorem3_equivalent(first, second)
+    decider_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    brute = equivalent_by_enumeration(first, second)
+    oracle_time = time.perf_counter() - start
+
+    assert decided is True and brute is True
+    print_table(
+        "E7d: decider vs enumeration on 12-atom bodies",
+        ["method", "seconds"],
+        [["Theorem 3 decider", decider_time], ["world enumeration", oracle_time]],
+        note="the decider's advantage grows exponentially with atom count",
+    )
+    assert decider_time < oracle_time
+    benchmark(lambda: theorem3_equivalent(first, second))

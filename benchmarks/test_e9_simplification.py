@@ -1,0 +1,102 @@
+"""E9 — "simplification is vital" (Section 4).
+
+The paper: theories "grow steadily longer under the update algorithms", and
+heuristic simplification "will be a vital part of any implementation".
+Measured: theory size and query latency after k updates, with and without
+the Section 4 simplifier, plus confirmation that the simplifier never
+changes the world set.
+"""
+
+import time
+
+from repro.bench.report import print_table
+from repro.core.gua import GuaExecutor
+from repro.core.simplification import simplify_theory
+from repro.query.answers import ask
+from repro.theory.theory import ExtendedRelationalTheory
+
+STREAM = 24
+
+
+def _toggle_stream(k):
+    """k updates that keep rewriting the same three atoms — the workload
+    where unsimplified theories accumulate dead predicate constants."""
+    updates = []
+    for i in range(k):
+        if i % 3 == 0:
+            updates.append("INSERT P(a) | P(b) WHERE T")
+        elif i % 3 == 1:
+            updates.append("INSERT !P(b) WHERE P(a)")
+        else:
+            updates.append("INSERT P(c) WHERE P(a) | P(b)")
+    return updates
+
+
+def _run(simplify: bool):
+    theory = ExtendedRelationalTheory(formulas=["P(a)"])
+    executor = GuaExecutor(theory)
+    sizes = []
+    for statement in _toggle_stream(STREAM):
+        executor.apply(statement)
+        if simplify:
+            simplify_theory(theory)
+        sizes.append(theory.size())
+    start = time.perf_counter()
+    answer = ask(theory, "P(c)")
+    query_seconds = time.perf_counter() - start
+    return theory, sizes, answer, query_seconds
+
+
+def test_size_with_and_without_simplification(benchmark):
+    def run_both():
+        return _run(simplify=False), _run(simplify=True)
+
+    (plain_theory, plain_sizes, plain_answer, plain_query), (
+        simp_theory,
+        simp_sizes,
+        simp_answer,
+        simp_query,
+    ) = benchmark(run_both)
+
+    # Same knowledge either way:
+    assert plain_answer.status == simp_answer.status
+    assert plain_theory.world_set() == simp_theory.world_set()
+
+    checkpoints = [5, 11, 17, 23]
+    rows = [
+        [k + 1, plain_sizes[k], simp_sizes[k]] for k in checkpoints
+    ]
+    print_table(
+        "E9a: theory size after k updates",
+        ["k updates", "no simplification", "with simplification"],
+        rows,
+        note="worlds and query answers identical in both columns",
+    )
+    assert simp_sizes[-1] < plain_sizes[-1]
+    # Simplified size stays bounded; unsimplified grows with k.
+    assert simp_sizes[-1] <= simp_sizes[5] * 2 + 10
+    assert plain_sizes[-1] > plain_sizes[5] * 2
+
+    print_table(
+        "E9b: query latency after the stream",
+        ["variant", "ask('P(c)') seconds"],
+        [["no simplification", plain_query], ["with simplification", simp_query]],
+    )
+
+
+def test_simplification_pass_cost(benchmark):
+    theory = ExtendedRelationalTheory(formulas=["P(a)"])
+    executor = GuaExecutor(theory)
+    for statement in _toggle_stream(8):
+        executor.apply(statement)
+    frozen = theory.formulas()
+
+    def one_pass():
+        scratch = ExtendedRelationalTheory()
+        for formula in frozen:
+            scratch.add_formula(formula)
+        simplify_theory(scratch)
+        return scratch.size()
+
+    size_after = benchmark(one_pass)
+    assert size_after <= sum(f.size() for f in frozen)

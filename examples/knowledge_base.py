@@ -1,0 +1,62 @@
+"""A ground knowledge base with belief update (the Section 1 motivation).
+
+The paper positions extended relational theories as "groundwork for use in
+applications beyond ordinary databases, such as AI applications using a
+knowledge base built on top of ground knowledge."  This example runs a tiny
+diagnostic assistant whose beliefs evolve under LDML updates — which is
+precisely *Winslett update semantics*, the possible-models approach this
+paper introduced.
+
+Run:  python examples/knowledge_base.py
+"""
+
+from repro import Database
+
+
+def show(db: Database, *queries: str) -> None:
+    for query in queries:
+        print(f"    {query:<42} {db.ask(query).status}")
+
+
+def main() -> None:
+    kb = Database()
+
+    print("1. Observations arrive, some of them uncertain.")
+    kb.update("INSERT Symptom(fever) WHERE T")
+    kb.update("INSERT Symptom(cough) | Symptom(rash) WHERE T")
+    show(kb, "Symptom(fever)", "Symptom(cough)", "Symptom(rash)")
+
+    print("\n2. Diagnostic knowledge enters as conditional updates.")
+    kb.update("INSERT Cause(flu) | Cause(measles) WHERE Symptom(fever)")
+    kb.update("INSERT Cause(measles) WHERE Symptom(rash) & Symptom(fever)")
+    show(kb, "Cause(flu)", "Cause(measles)", "Cause(flu) | Cause(measles)")
+
+    print("\n3. A world count shows the ambiguity the KB is tracking.")
+    print("    alternative worlds:", kb.world_count())
+
+    print("\n4. A lab test rules out measles — ASSERT prunes worlds.")
+    kb.update("ASSERT !Cause(measles)")
+    show(kb, "Cause(flu)", "Cause(measles)", "Symptom(rash)")
+    print("    alternative worlds:", kb.world_count())
+
+    print("\n5. Belief *update*, not revision: new facts override old ones.")
+    kb.update("INSERT !Symptom(fever) WHERE T")   # fever has broken
+    show(kb, "Symptom(fever)", "Cause(flu)")      # diagnosis survives
+
+    print("\n6. Forgetting: reinsert a tautology to mark a fact unknown.")
+    kb.update("INSERT Symptom(cough) | !Symptom(cough) WHERE T")
+    show(kb, "Symptom(cough)")
+
+    print("\n7. The journal replays to the same state (audit trail).")
+    replayed = kb.transactions.replay()
+    print("    replay worlds == live worlds:",
+          replayed.world_set() == kb.theory.world_set())
+
+    print("\n8. Theory kept compact by the Section 4 simplifier:")
+    report = kb.simplify()
+    print(f"    {report.size_before} -> {report.size_after} nodes "
+          f"({report.constants_eliminated} predicate constants eliminated)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Null values as Skolem constants — the paper's extension, exercised.
+
+"The algorithm can be extended to cover the case where null values appear in
+the theory as Skolem constants, in which case the theory may have an
+infinite set of models."  Here an employee record arrives with an unknown
+manager; the Skolem layer tracks every possible denotation, updates run
+through GUA on each instantiation, and the candidate domain can grow.
+
+Run:  python examples/null_values.py
+"""
+
+from repro import SkolemTheory, parse
+from repro.core.gua import gua_update
+from repro.logic.terms import Constant
+from repro.theory.skolem import NullBinding, SkolemConstant
+
+
+def main() -> None:
+    # Dana's manager is unknown: a Skolem constant null_mgr stands for it.
+    kb = SkolemTheory([
+        parse("Emp(dana)"),
+        parse("Emp(alice)"),
+        parse("Mgr(dana, null_mgr)"),
+    ])
+    print("nulls in the theory:", [str(n) for n in kb.nulls()])
+
+    # Over the currently known people, the null could be anyone.
+    domain = [Constant("alice"), Constant("bob")]
+    worlds = kb.alternative_worlds(domain)
+    print(f"\nworlds over domain {{alice, bob}}: {len(worlds)}")
+    for world in sorted(worlds, key=repr):
+        print("  ", world)
+
+    # The unique-name axioms do NOT separate a null from known constants:
+    # the manager may be alice even though Emp(alice) is already recorded.
+    has_alice_as_mgr = any(
+        world.satisfies(parse("Mgr(dana, alice)")) for world in worlds
+    )
+    print("\nmanager could be alice:", has_alice_as_mgr)
+
+    # Growing the candidate domain grows the world set — the finite shadow
+    # of the paper's 'infinite set of models'.
+    bigger = kb.alternative_worlds(domain + [Constant("carol")])
+    print(f"worlds after adding carol to the domain: {len(bigger)}")
+
+    # Updates run through ordinary GUA on each instantiation.
+    print("\napplying INSERT Dept(dana, sales) to every instantiation:")
+    updated_worlds = set()
+    for binding in kb.bindings(domain):
+        theory = kb.instantiated(binding)
+        gua_update(theory, "INSERT Dept(dana, sales) WHERE T")
+        updated_worlds.update(theory.alternative_worlds())
+    for world in sorted(updated_worlds, key=repr):
+        print("  ", world)
+
+    # When the null is resolved, bind it explicitly.
+    resolved = kb.instantiated(
+        NullBinding({SkolemConstant("mgr"): Constant("bob")})
+    )
+    print("\nresolved (manager = bob):")
+    for world in resolved.alternative_worlds():
+        print("  ", world)
+
+
+if __name__ == "__main__":
+    main()

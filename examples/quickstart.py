@@ -1,0 +1,52 @@
+"""Quickstart: an incomplete-information database in ten statements.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, schema_from_dict
+
+
+def main() -> None:
+    # A database over the paper's running schema.
+    schema = schema_from_dict(
+        {"Orders": ["OrderNo", "PartNo", "Quan"], "InStock": ["PartNo", "Quan"]}
+    )
+    db = Database(schema=schema)
+
+    # Ordinary, complete-information updates work as usual.
+    db.update("INSERT Orders(700,32,9) WHERE T")
+    print("Orders(700,32,9):", db.ask("Orders(700,32,9)"))  # certain
+
+    # Incomplete information enters through a branching update: the clerk
+    # knows order 100 is for part 32, quantity 1 or 7.
+    db.update("INSERT Orders(100,32,1) | Orders(100,32,7) WHERE T")
+    print("Orders(100,32,1):", db.ask("Orders(100,32,1)"))  # possible
+    print("disjunction:", db.ask("Orders(100,32,1) | Orders(100,32,7)"))
+
+    # The database now stands for several alternative worlds.
+    print("alternative worlds:", db.world_count())
+
+    # Conditional updates act on every world where the condition holds.
+    db.update("INSERT InStock(32,0) WHERE Orders(100,32,7)")
+    print("backorder implied:", db.ask("Orders(100,32,7) -> InStock(32,0)"))
+
+    # ASSERT removes uncertainty when exact knowledge arrives.
+    db.update("ASSERT Orders(100,32,1) & !Orders(100,32,7)")
+    print("after ASSERT:", db.ask("Orders(100,32,1)"))       # certain
+    print("alternative worlds:", db.world_count())
+
+    # Relational view with three-valued membership.
+    print("\nOrders relation:")
+    for row in db.select("Orders"):
+        print("  ", row.values(), "--", row.status)
+
+    # Keep the theory small (Section 4: simplification is vital).
+    report = db.simplify()
+    print(
+        f"\nsimplified theory: {report.size_before} -> "
+        f"{report.size_after} nodes; worlds unchanged"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""``python -m repro`` — the LDML shell (see :mod:`repro.cli`)."""
+
+from repro.cli import main
+
+raise SystemExit(main())

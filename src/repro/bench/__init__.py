@@ -1,0 +1,54 @@
+"""Benchmark substrate: workload generators, measurement, reporting."""
+
+from repro.bench.workload import (
+    OrdersScenario,
+    atom_pool,
+    branching_stream,
+    fd_theory,
+    fd_updates,
+    fd_worst_case_theory,
+    orders_scenario,
+    populated_theory,
+    random_formula,
+    random_theory,
+    random_update,
+    update_stream,
+    update_touching_existing,
+    update_with_g_atoms,
+)
+from repro.bench.measure import (
+    Measurement,
+    fit_linear,
+    fit_log,
+    fit_power_law,
+    growth_ratio,
+    sweep,
+    time_callable,
+)
+from repro.bench.report import print_table, render_table
+
+__all__ = [
+    "OrdersScenario",
+    "atom_pool",
+    "branching_stream",
+    "fd_theory",
+    "fd_updates",
+    "fd_worst_case_theory",
+    "orders_scenario",
+    "populated_theory",
+    "random_formula",
+    "random_theory",
+    "random_update",
+    "update_stream",
+    "update_touching_existing",
+    "update_with_g_atoms",
+    "Measurement",
+    "fit_linear",
+    "fit_log",
+    "fit_power_law",
+    "growth_ratio",
+    "sweep",
+    "time_callable",
+    "print_table",
+    "render_table",
+]

@@ -1,0 +1,53 @@
+"""Fixed-width report tables for the experiment harness.
+
+Every benchmark prints its result rows through :func:`render_table`, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the "tables" the paper
+would have contained (the paper itself prints none — these tables *are* the
+reproduction artifact, recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    note: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table with a title banner."""
+    materialized: List[List[str]] = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    parts = [f"== {title} ==", line(headers), separator]
+    parts.extend(line(row) for row in materialized)
+    if note:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def print_table(*args, **kwargs) -> None:
+    print()
+    print(render_table(*args, **kwargs))

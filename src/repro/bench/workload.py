@@ -1,0 +1,342 @@
+"""Seeded workload generators for the experiments.
+
+The paper has no published workloads (it is a theory paper), so the
+experiment harness synthesizes them.  Every generator takes an explicit
+``random.Random`` (or a seed) — runs are reproducible by construction.
+
+Generators map directly onto the quantities in the paper's claims:
+
+* :func:`populated_theory` — a theory with a chosen R (atoms per predicate),
+  for the O(g log R) sweep (E4);
+* :func:`update_with_g_atoms` — an INSERT whose body mentions exactly g
+  distinct atoms, for the g-sweep (E4/E5);
+* :func:`branching_stream` — updates that multiply the world count, for the
+  GUA-vs-naive crossover (E10);
+* :func:`fd_theory` / :func:`fd_updates` — conflict-free vs all-conflict
+  functional-dependency workloads (E6 best/worst case);
+* :func:`random_theory` / :func:`random_update` — the fuzzing distributions
+  behind the commutative-diagram and equivalence validations (E1/E7);
+* :func:`orders_scenario` — the paper's Orders/InStock running example at
+  configurable scale, used by examples and integration tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.ldml.ast import Assert_, Delete, GroundUpdate, Insert, Modify
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    conjoin,
+    disjoin,
+)
+from repro.logic.terms import Constant, GroundAtom, Predicate
+from repro.theory.dependencies import FunctionalDependency
+from repro.theory.schema import DatabaseSchema, schema_from_dict
+from repro.theory.theory import ExtendedRelationalTheory
+
+Rng = Union[random.Random, int, None]
+
+
+def _rng(seed: Rng) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+# -- atoms -----------------------------------------------------------------------
+
+
+def atom_pool(n: int, predicate_name: str = "R", arity: int = 1) -> List[GroundAtom]:
+    """``n`` distinct ground atoms of one predicate, deterministic order."""
+    predicate = Predicate(predicate_name, arity)
+    atoms = []
+    for i in range(n):
+        args = tuple(Constant(f"c{i}_{j}") for j in range(arity))
+        atoms.append(GroundAtom(predicate, args))
+    return atoms
+
+
+# -- random formulas ---------------------------------------------------------------
+
+
+def random_formula(
+    rng: Rng,
+    atoms: Sequence[GroundAtom],
+    *,
+    depth: int = 2,
+    negate_probability: float = 0.3,
+    leaf_probability: float = 0.4,
+) -> Formula:
+    """A random ground wff over *atoms* with bounded depth."""
+    generator = _rng(rng)
+
+    def build(level: int) -> Formula:
+        if level <= 0 or generator.random() < leaf_probability:
+            leaf: Formula = Atom(generator.choice(list(atoms)))
+            if generator.random() < negate_probability:
+                leaf = Not(leaf)
+            return leaf
+        connective = generator.choice(["and", "or", "implies"])
+        left, right = build(level - 1), build(level - 1)
+        if connective == "and":
+            return And((left, right))
+        if connective == "or":
+            return Or((left, right))
+        return Implies(left, right)
+
+    return build(depth)
+
+
+def random_theory(
+    rng: Rng,
+    *,
+    n_atoms: int = 5,
+    n_wffs: int = 3,
+    depth: int = 2,
+    require_consistent: bool = True,
+    max_attempts: int = 50,
+) -> ExtendedRelationalTheory:
+    """A random consistent theory over a unary-predicate atom pool."""
+    generator = _rng(rng)
+    atoms = atom_pool(n_atoms)
+    for _ in range(max_attempts):
+        theory = ExtendedRelationalTheory()
+        for _ in range(n_wffs):
+            theory.add_formula(random_formula(generator, atoms, depth=depth))
+        if not require_consistent or theory.is_consistent():
+            return theory
+    raise RuntimeError("could not generate a consistent theory; loosen parameters")
+
+
+def random_update(
+    rng: Rng,
+    atoms: Sequence[GroundAtom],
+    *,
+    body_depth: int = 1,
+    where_depth: int = 1,
+) -> GroundUpdate:
+    """A random LDML update, drawing the operator uniformly."""
+    generator = _rng(rng)
+    kind = generator.choice(["insert", "delete", "modify", "assert"])
+    if kind == "insert":
+        return Insert(
+            random_formula(generator, atoms, depth=body_depth),
+            random_formula(generator, atoms, depth=where_depth),
+        )
+    if kind == "delete":
+        return Delete(
+            generator.choice(list(atoms)),
+            random_formula(generator, atoms, depth=where_depth),
+        )
+    if kind == "modify":
+        return Modify(
+            generator.choice(list(atoms)),
+            random_formula(generator, atoms, depth=body_depth),
+            random_formula(generator, atoms, depth=where_depth),
+        )
+    return Assert_(random_formula(generator, atoms, depth=where_depth))
+
+
+def update_stream(
+    rng: Rng, atoms: Sequence[GroundAtom], length: int, **kwargs
+) -> List[GroundUpdate]:
+    generator = _rng(rng)
+    return [random_update(generator, atoms, **kwargs) for _ in range(length)]
+
+
+# -- scaling workloads (E4 / E5) -----------------------------------------------------
+
+
+def populated_theory(r: int, *, predicate_name: str = "Big") -> ExtendedRelationalTheory:
+    """A theory whose one predicate holds R distinct atoms (definite facts).
+
+    This pins the paper's R; updates against it exercise the O(log R) index
+    path without any incompleteness noise.
+    """
+    theory = ExtendedRelationalTheory()
+    for atom in atom_pool(r, predicate_name):
+        theory.add_formula(Atom(atom))
+    return theory
+
+
+def update_with_g_atoms(
+    g: int, *, predicate_name: str = "Upd", offset: int = 0
+) -> Insert:
+    """An INSERT whose body is a conjunction of g distinct fresh atoms."""
+    predicate = Predicate(predicate_name, 1)
+    atoms = [predicate(Constant(f"u{offset + i}")) for i in range(g)]
+    return Insert(conjoin([Atom(a) for a in atoms]), TRUE)
+
+
+def update_touching_existing(
+    g: int, theory: ExtendedRelationalTheory, predicate_name: str = "Big"
+) -> Insert:
+    """An INSERT over g atoms that already populate the theory (forces
+    renaming work proportional to g against the R-sized index)."""
+    predicate = theory.language.predicate(predicate_name)
+    atoms = theory.predicate_atoms(predicate)[:g]
+    if len(atoms) < g:
+        raise ValueError(f"theory holds only {len(atoms)} atoms of {predicate_name}")
+    return Insert(conjoin([Atom(a) for a in atoms]), TRUE)
+
+
+# -- branching workloads (E10) ----------------------------------------------------------
+
+
+def branching_stream(k: int, *, predicate_name: str = "Ch") -> List[Insert]:
+    """k INSERTs, each disjoining two fresh atoms: world count grows 3^k.
+
+    (``a | b`` admits three valuations — the paper's own branching example.)
+    """
+    predicate = Predicate(predicate_name, 1)
+    stream = []
+    for i in range(k):
+        left = Atom(predicate(Constant(f"l{i}")))
+        right = Atom(predicate(Constant(f"r{i}")))
+        stream.append(Insert(Or((left, right)), TRUE))
+    return stream
+
+
+# -- dependency workloads (E6) ------------------------------------------------------------
+
+
+def fd_theory(
+    r: int, *, relation_name: str = "Emp"
+) -> Tuple[ExtendedRelationalTheory, FunctionalDependency]:
+    """A theory of r Emp(key, value) facts with FD key -> value.
+
+    All keys are distinct, so the base content is conflict-free.
+    """
+    predicate = Predicate(relation_name, 2)
+    fd = FunctionalDependency(predicate, [0], [1])
+    theory = ExtendedRelationalTheory(dependencies=[fd])
+    for i in range(r):
+        theory.add_formula(Atom(predicate(Constant(f"k{i}"), Constant(f"v{i}"))))
+    return theory, fd
+
+
+def fd_updates(
+    g: int,
+    *,
+    relation_name: str = "Emp",
+    conflicting: bool,
+    r: Optional[int] = None,
+) -> Insert:
+    """One INSERT of g Emp tuples.
+
+    With ``conflicting=False`` every tuple has a fresh key — the Section 3.6
+    best case (no FD bindings beyond the tuple itself).  With
+    ``conflicting=True`` every tuple reuses key ``k0`` — the worst case,
+    where each updated tuple joins against the whole relation's key group.
+    """
+    predicate = Predicate(relation_name, 2)
+    atoms = []
+    for i in range(g):
+        key = "k0" if conflicting else f"fresh{i}"
+        atoms.append(predicate(Constant(key), Constant(f"new{i}")))
+    return Insert(conjoin([Atom(a) for a in atoms]), TRUE)
+
+
+def fd_worst_case_theory(
+    r: int, *, relation_name: str = "Emp"
+) -> Tuple[ExtendedRelationalTheory, FunctionalDependency]:
+    """All r tuples share one key: every update binding joins all of them —
+    the O(g·R) worst case of Section 3.6."""
+    predicate = Predicate(relation_name, 2)
+    fd = FunctionalDependency(predicate, [0], [1])
+    theory = ExtendedRelationalTheory(dependencies=[fd])
+    for i in range(r):
+        theory.add_formula(Atom(predicate(Constant("k0"), Constant(f"v{i}"))))
+    return theory, fd
+
+
+# -- the running example --------------------------------------------------------------------
+
+
+@dataclass
+class OrdersScenario:
+    """The paper's Orders/InStock schema, populated."""
+
+    schema: DatabaseSchema
+    theory: ExtendedRelationalTheory
+    order_atoms: List[GroundAtom]
+    stock_atoms: List[GroundAtom]
+
+
+def orders_scenario(
+    n_orders: int = 10,
+    n_parts: int = 5,
+    rng: Rng = 0,
+    *,
+    disjunctive_fraction: float = 0.2,
+) -> OrdersScenario:
+    """Populate Orders(OrderNo, PartNo, Quan) / InStock(PartNo, Quan).
+
+    A fraction of the orders is entered disjunctively (quantity known to be
+    one of two values) — the incomplete-information load the paper's
+    introduction motivates.
+    """
+    generator = _rng(rng)
+    schema = schema_from_dict(
+        {"Orders": ["OrderNo", "PartNo", "Quan"], "InStock": ["PartNo", "Quan"]}
+    )
+    orders = schema.relation("Orders")
+    in_stock = schema.relation("InStock")
+    theory = ExtendedRelationalTheory(schema=schema)
+
+    order_atoms: List[GroundAtom] = []
+    for i in range(n_orders):
+        order_no = 100 + i
+        part_no = 30 + generator.randrange(n_parts)
+        quantity = generator.randrange(1, 20)
+        atom = orders(order_no, part_no, quantity)
+        order_atoms.append(atom)
+        tagged = _tag(schema, atom)
+        if generator.random() < disjunctive_fraction:
+            alternative = orders(order_no, part_no, quantity + 1)
+            order_atoms.append(alternative)
+            theory.add_formula(
+                disjoin([tagged, _tag(schema, alternative)])
+            )
+            # Keep the Section 3.5 invariant: in worlds where only one
+            # branch holds, the other branch's atom must still respect the
+            # type axiom if some model sets it true — add the instantiated
+            # type axioms (what GUA Step 5 would maintain).
+            for branch in (atom, alternative):
+                theory.add_formula(
+                    Implies(
+                        Atom(branch),
+                        conjoin(
+                            [Atom(ob) for ob in schema.type_obligations(branch)]
+                        ),
+                    )
+                )
+        else:
+            theory.add_formula(tagged)
+
+    stock_atoms: List[GroundAtom] = []
+    for part in range(n_parts):
+        atom = in_stock(30 + part, generator.randrange(0, 100))
+        stock_atoms.append(atom)
+        theory.add_formula(_tag(schema, atom))
+
+    return OrdersScenario(
+        schema=schema,
+        theory=theory,
+        order_atoms=order_atoms,
+        stock_atoms=stock_atoms,
+    )
+
+
+def _tag(schema: DatabaseSchema, atom: GroundAtom) -> Formula:
+    """Conjoin the attribute atoms so type axioms are satisfied."""
+    return schema.tag_with_attributes(Atom(atom))

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: algorithm GUA and its surroundings."""
+
+from repro.core.gua import GuaExecutor, GuaResult, GuaStats, gua_run_script, gua_update
+from repro.core.naive import NaiveWorldStore, commutes
+from repro.core.simplification import (
+    AutoSimplifier,
+    SimplificationReport,
+    simplify_theory,
+)
+from repro.core.transaction import LogEntry, Savepoint, TransactionManager, UpdateLog
+from repro.core.logstore import LogStructuredStore
+from repro.core.engine import Database
+
+__all__ = [
+    "GuaExecutor",
+    "GuaResult",
+    "GuaStats",
+    "gua_run_script",
+    "gua_update",
+    "NaiveWorldStore",
+    "commutes",
+    "AutoSimplifier",
+    "SimplificationReport",
+    "simplify_theory",
+    "LogEntry",
+    "Savepoint",
+    "TransactionManager",
+    "UpdateLog",
+    "LogStructuredStore",
+    "Database",
+]

@@ -1,0 +1,226 @@
+"""The user-facing database façade.
+
+:class:`Database` wires the whole stack together: an extended relational
+theory updated by GUA, an update journal, optional periodic simplification,
+the query layer, and the SQL-ish front end.  This is the object a downstream
+user of the library holds::
+
+    db = Database(schema=schema_from_dict({"Orders": [...]}), auto_tag=True)
+    db.update("INSERT Orders(700,32,9) | Orders(700,33,9) WHERE T")
+    db.ask("Orders(700,32,9)")          # -> possible
+    db.update("ASSERT Orders(700,32,9)")
+    db.ask("Orders(700,32,9)")          # -> certain
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.gua import GuaExecutor, GuaResult
+from repro.core.simplification import AutoSimplifier, SimplificationReport, simplify_theory
+from repro.core.transaction import TransactionManager
+from repro.errors import InconsistentTheoryError
+from repro.ldml.ast import GroundUpdate, Insert
+from repro.ldml.parser import parse_script, parse_update
+from repro.ldml.sql import translate_sql
+from repro.logic.syntax import Formula
+from repro.query.answers import Answer, ask as ask_theory
+from repro.query.select import SelectedRow, select as select_theory
+from repro.theory.dependencies import TemplateDependency
+from repro.theory.schema import DatabaseSchema
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+
+class Database:
+    """An incomplete-information database under LDML updates via GUA."""
+
+    def __init__(
+        self,
+        schema: Optional[DatabaseSchema] = None,
+        dependencies: Sequence[TemplateDependency] = (),
+        facts: Sequence[Union[Formula, str]] = (),
+        *,
+        auto_tag: bool = True,
+        simplify_every: Optional[int] = None,
+        entailment_mode: str = "conjunct",
+    ):
+        """Args:
+            schema: optional database schema (enables type axioms and the
+                attribute-tagging layer).
+            dependencies: dependency axioms to enforce.
+            facts: initial non-axiomatic wffs.
+            auto_tag: apply the Section 3.5 "type and dependency layer" to
+                INSERT/MODIFY bodies (conjoin attribute atoms) so type
+                axioms never silently drop freshly inserted worlds.
+            simplify_every: run the Section 4 simplifier every N updates
+                (None = only on explicit :meth:`simplify` calls).
+            entailment_mode: Step 5 test — "conjunct" (paper's optimized
+                form) or "full".
+        """
+        self.theory = ExtendedRelationalTheory(
+            schema=schema, dependencies=dependencies, formulas=facts
+        )
+        self.auto_tag = auto_tag and schema is not None
+        self._executor = GuaExecutor(
+            self.theory, entailment_mode=entailment_mode
+        )
+        self.transactions = TransactionManager(self.theory)
+        self._simplifier = (
+            AutoSimplifier(simplify_every) if simplify_every else None
+        )
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, statement: Union[GroundUpdate, str]) -> GuaResult:
+        """Apply one LDML update through GUA.
+
+        Statements containing ``?var`` variables are open updates: they are
+        grounded over the theory's atom universe and executed as one
+        simultaneous set of ground updates (Section 4's reduction).
+        """
+        if isinstance(statement, str) and "?" in statement:
+            return self.update_open(statement)
+        update = (
+            parse_update(statement) if isinstance(statement, str) else statement
+        )
+        update = self._tagged(update)
+        result = self._executor.apply(update)
+        self.transactions.log.record(result.update, self.theory.size())
+        if self._simplifier is not None:
+            self._simplifier.after_update(self.theory)
+        return result
+
+    def update_open(self, statement: Union["OpenUpdate", str], domains=None) -> GuaResult:
+        """Apply an LDML update with variables (see
+        :mod:`repro.ldml.open_updates`)."""
+        from repro.ldml.open_updates import OpenUpdate, parse_open_update
+        from repro.ldml.simultaneous import SimultaneousInsert
+
+        open_update = (
+            parse_open_update(statement)
+            if isinstance(statement, str)
+            else statement
+        )
+        simultaneous = open_update.expand(self.theory, domains)
+        if self.auto_tag:
+            simultaneous = SimultaneousInsert(
+                [
+                    (where, self.theory.schema.tag_with_attributes(body))
+                    for where, body in simultaneous.pairs
+                ]
+            )
+        result = self._executor.apply_simultaneous(simultaneous)
+        # Journal the simultaneous set itself: replaying the synthetic joint
+        # INSERT stored in result.update would conjoin all bodies
+        # unconditionally — different semantics.
+        self.transactions.log.record(simultaneous, self.theory.size())
+        if self._simplifier is not None:
+            self._simplifier.after_update(self.theory)
+        return result
+
+    def run_script(self, script: str) -> List[GuaResult]:
+        """Apply a ';'-separated LDML script."""
+        return [self.update(u) for u in parse_script(script)]
+
+    def sql(self, statement: str) -> GuaResult:
+        """Apply one SQL-ish statement (see :mod:`repro.ldml.sql`)."""
+        return self.update(translate_sql(statement, self.theory.schema))
+
+    def _tagged(self, update: GroundUpdate) -> GroundUpdate:
+        """The Section 3.5 attribute-tagging layer."""
+        if not self.auto_tag:
+            return update
+        insert = update.to_insert()
+        schema = self.theory.schema
+        assert schema is not None
+        tagged_body = schema.tag_with_attributes(insert.body)
+        if tagged_body is insert.body:
+            return insert
+        return Insert(tagged_body, insert.where)
+
+    # -- queries ---------------------------------------------------------------
+
+    def ask(self, query: Union[Formula, str]) -> Answer:
+        """Three-valued answer: certain / possible / impossible."""
+        return ask_theory(self.theory, query)
+
+    def is_certain(self, query: Union[Formula, str]) -> bool:
+        return self.ask(query).certain
+
+    def is_possible(self, query: Union[Formula, str]) -> bool:
+        return self.ask(query).possible
+
+    def select(self, relation: str, **kwargs) -> List[SelectedRow]:
+        """Tuple membership with certainty status for one relation."""
+        return select_theory(self.theory, relation, **kwargs)
+
+    def explain(self, query: Union[Formula, str]):
+        """Witness worlds for a query: ``(world_where_true, world_where_false)``.
+
+        Either component is None when no such world exists (so a certain
+        query has ``(world, None)``, an impossible one ``(None, world)``).
+        """
+        from repro.query.answers import witness_world
+
+        return (
+            witness_world(self.theory, query, holds=True),
+            witness_world(self.theory, query, holds=False),
+        )
+
+    def find(self, query: str, **kwargs):
+        """Answer a query with ``?var`` variables: bindings with status.
+
+        >>> db.find("Emp(?x, sales)")   # doctest: +SKIP
+        [AnswerRow(binding=(('x', alice),), status='certain'), ...]
+        """
+        from repro.query.open_queries import parse_open_query
+
+        return parse_open_query(query).answers(self.theory, **kwargs)
+
+    def worlds(self) -> List[AlternativeWorld]:
+        """Materialize the world set (exponential in the incompleteness)."""
+        return sorted(
+            self.theory.alternative_worlds(), key=lambda w: sorted(map(str, w))
+        )
+
+    def world_count(self, cap: Optional[int] = None) -> int:
+        return self.theory.world_count(cap=cap)
+
+    def is_consistent(self) -> bool:
+        return self.theory.is_consistent()
+
+    def check_consistent(self) -> None:
+        if not self.is_consistent():
+            raise InconsistentTheoryError(
+                "the theory has no models — a previous ASSERT/INSERT "
+                "contradicted everything; roll back or rebuild"
+            )
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def simplify(self, **options) -> SimplificationReport:
+        """Run the Section 4 simplifier now."""
+        return simplify_theory(self.theory, **options)
+
+    def savepoint(self, name: str) -> None:
+        self.transactions.savepoint(name, self.theory)
+
+    def rollback(self, name: str) -> None:
+        restored = self.transactions.rollback(name)
+        # Swap theory contents in place so executor/log keep working.
+        self.theory.replace_formulas(restored.formulas())
+        # Axiom instances added after the savepoint are gone from the
+        # section; drop the dedup registry so they can be re-added.
+        if hasattr(self.theory, "_axiom_instances"):
+            delattr(self.theory, "_axiom_instances")
+
+    def size(self) -> int:
+        """Nodes in the stored non-axiomatic section."""
+        return self.theory.size()
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({len(self.theory.stored_wffs())} wffs, "
+            f"{len(self.transactions.log)} updates applied)"
+        )

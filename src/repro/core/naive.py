@@ -1,0 +1,155 @@
+"""The naive baseline: materialize every alternative world.
+
+Section 3.2 defines correctness by "storing a separate database for each
+alternative world and running query processing in parallel on each separate
+database".  :class:`NaiveWorldStore` *is* that parallel computation method,
+made concrete: it keeps the explicit world set and applies the model-level
+LDML semantics world by world.
+
+It serves three purposes:
+
+* the correctness oracle for GUA (the commutative diagram of Theorem 1);
+* the baseline for experiment E10 (GUA's per-update cost is independent of
+  the world count; the naive store's is linear in it, and branching updates
+  grow the world count exponentially);
+* a perfectly usable small-database engine in its own right.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Union
+
+from repro.errors import InconsistentTheoryError
+from repro.ldml.ast import GroundUpdate
+from repro.ldml.parser import parse_update
+from repro.ldml.semantics import update_worlds
+from repro.logic.parser import parse
+from repro.logic.syntax import Formula
+from repro.theory.dependencies import TemplateDependency
+from repro.theory.schema import DatabaseSchema
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+
+class NaiveWorldStore:
+    """An explicit set of alternative worlds under LDML updates."""
+
+    def __init__(
+        self,
+        worlds: Iterable[AlternativeWorld],
+        *,
+        schema: Optional[DatabaseSchema] = None,
+        dependencies: Sequence[TemplateDependency] = (),
+    ):
+        self._worlds: FrozenSet[AlternativeWorld] = frozenset(worlds)
+        self._schema = schema
+        self._dependencies = tuple(dependencies)
+
+    @classmethod
+    def from_theory(cls, theory: ExtendedRelationalTheory) -> "NaiveWorldStore":
+        """Materialize a theory's world set (exponential in the worst case —
+        that is the point of the comparison)."""
+        return cls(
+            theory.alternative_worlds(),
+            schema=theory.schema,
+            dependencies=theory.dependencies,
+        )
+
+    # -- updates -----------------------------------------------------------------
+
+    def apply(self, update: Union[GroundUpdate, str]) -> "NaiveWorldStore":
+        """Apply one update to every world; returns self (mutating style)."""
+        from repro.ldml.simultaneous import (
+            SimultaneousInsert,
+            update_worlds_simultaneously,
+        )
+
+        if isinstance(update, str):
+            update = parse_update(update)
+        if isinstance(update, SimultaneousInsert):
+            self._worlds = update_worlds_simultaneously(
+                self._worlds,
+                update,
+                schema=self._schema,
+                dependencies=self._dependencies,
+            )
+            return self
+        self._worlds = update_worlds(
+            self._worlds,
+            update,
+            schema=self._schema,
+            dependencies=self._dependencies,
+        )
+        return self
+
+    def run_script(
+        self, updates: Sequence[Union[GroundUpdate, str]]
+    ) -> "NaiveWorldStore":
+        for update in updates:
+            self.apply(update)
+        return self
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def worlds(self) -> FrozenSet[AlternativeWorld]:
+        return self._worlds
+
+    def world_count(self) -> int:
+        return len(self._worlds)
+
+    def is_consistent(self) -> bool:
+        return bool(self._worlds)
+
+    def certain(self, query: Union[Formula, str]) -> bool:
+        """True iff *query* holds in every world (vacuously true if none)."""
+        if isinstance(query, str):
+            query = parse(query)
+        if not self._worlds:
+            raise InconsistentTheoryError(
+                "the store has no worlds; every query is vacuously certain"
+            )
+        return all(world.satisfies(query) for world in self._worlds)
+
+    def possible(self, query: Union[Formula, str]) -> bool:
+        """True iff *query* holds in at least one world."""
+        if isinstance(query, str):
+            query = parse(query)
+        return any(world.satisfies(query) for world in self._worlds)
+
+    def copy(self) -> "NaiveWorldStore":
+        return NaiveWorldStore(
+            self._worlds, schema=self._schema, dependencies=self._dependencies
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, NaiveWorldStore):
+            return NotImplemented
+        return self._worlds == other._worlds
+
+    def __hash__(self) -> int:
+        return hash(self._worlds)
+
+    def __repr__(self) -> str:
+        return f"NaiveWorldStore({len(self._worlds)} worlds)"
+
+
+def commutes(
+    theory: ExtendedRelationalTheory,
+    updates: Sequence[Union[GroundUpdate, str]],
+    **gua_options,
+) -> bool:
+    """Check Theorem 1's commutative diagram on a concrete instance.
+
+    Runs the update script through GUA on a copy of the theory, and through
+    the naive store; True iff both paths reach the same world set.
+    """
+    from repro.core.gua import gua_run_script
+
+    parsed = [
+        parse_update(u) if isinstance(u, str) else u for u in updates
+    ]
+    gua_theory = theory.copy()
+    gua_run_script(gua_theory, parsed, **gua_options)
+    naive = NaiveWorldStore.from_theory(theory).run_script(parsed)
+    return gua_theory.world_set() == naive.worlds

@@ -1,0 +1,127 @@
+"""Update logs, savepoints, and replay.
+
+Section 4 contrasts the GUA approach with "simply keeping a record of past
+updates and recomputing the state of the theory on each new query".  This
+module provides that record as first-class machinery: every update applied
+through the :class:`~repro.core.engine.Database` façade is journaled, the
+journal can be replayed onto a fresh copy of the base theory (the paper's
+strawman, used as a baseline in tests), and savepoints give cheap rollback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import UpdateError
+from repro.ldml.ast import GroundUpdate
+from repro.theory.theory import ExtendedRelationalTheory
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One journaled update."""
+
+    sequence: int
+    update: GroundUpdate
+    wall_time: float
+    theory_size_after: int
+
+
+class UpdateLog:
+    """Append-only journal of applied updates."""
+
+    def __init__(self):
+        self._entries: List[LogEntry] = []
+
+    def record(self, update: GroundUpdate, theory_size_after: int) -> LogEntry:
+        entry = LogEntry(
+            sequence=len(self._entries),
+            update=update,
+            wall_time=time.time(),
+            theory_size_after=theory_size_after,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> Sequence[LogEntry]:
+        return tuple(self._entries)
+
+    def updates(self) -> List[GroundUpdate]:
+        return [entry.update for entry in self._entries]
+
+    def truncate(self, length: int) -> None:
+        if not 0 <= length <= len(self._entries):
+            raise UpdateError(f"cannot truncate log of {len(self._entries)} to {length}")
+        del self._entries[length:]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"UpdateLog({len(self._entries)} entries)"
+
+
+@dataclass
+class Savepoint:
+    """A named rollback point: base-theory copy position + log length."""
+
+    name: str
+    log_length: int
+    theory_snapshot: ExtendedRelationalTheory
+
+
+class TransactionManager:
+    """Savepoints and replay over a theory + log pair.
+
+    Rollback restores the snapshotted theory and truncates the journal;
+    :meth:`replay` rebuilds state from the base theory through the log (the
+    Section 4 strawman — every query pays the whole history), which tests
+    use to confirm the journal and the live theory agree.
+    """
+
+    def __init__(self, base_theory: ExtendedRelationalTheory):
+        self._base = base_theory.copy()
+        self.log = UpdateLog()
+        self._savepoints: Dict[str, Savepoint] = {}
+
+    @property
+    def base_theory(self) -> ExtendedRelationalTheory:
+        return self._base
+
+    def savepoint(
+        self, name: str, theory: ExtendedRelationalTheory
+    ) -> Savepoint:
+        point = Savepoint(
+            name=name,
+            log_length=len(self.log),
+            theory_snapshot=theory.copy(),
+        )
+        self._savepoints[name] = point
+        return point
+
+    def rollback(self, name: str) -> ExtendedRelationalTheory:
+        try:
+            point = self._savepoints[name]
+        except KeyError:
+            raise UpdateError(f"no savepoint named {name!r}") from None
+        self.log.truncate(point.log_length)
+        # Savepoints created after this one are now unreachable.
+        self._savepoints = {
+            n: p
+            for n, p in self._savepoints.items()
+            if p.log_length <= point.log_length
+        }
+        return point.theory_snapshot.copy()
+
+    def replay(self, *, upto: Optional[int] = None) -> ExtendedRelationalTheory:
+        """Rebuild the theory by re-running the journal from the base."""
+        from repro.core.gua import gua_run_script
+
+        updates = self.log.updates()
+        if upto is not None:
+            updates = updates[:upto]
+        theory = self._base.copy()
+        gua_run_script(theory, updates)
+        return theory

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """A formula, LDML statement, or query failed to parse.
+
+    Attributes:
+        text: the full input being parsed.
+        position: character offset where parsing failed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        if position >= 0 and text:
+            window = text[max(0, position - 20):position + 20]
+            message = f"{message} (at offset {position}, near {window!r})"
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class LanguageError(ReproError):
+    """An operation referenced a symbol not in (or clashing with) the language L."""
+
+
+class SchemaError(ReproError):
+    """A schema constraint was violated (bad arity, unknown relation, ...)."""
+
+
+class TheoryError(ReproError):
+    """An extended relational theory invariant was violated."""
+
+
+class InconsistentTheoryError(TheoryError):
+    """The theory has no models (e.g. after ASSERT of a false formula)."""
+
+
+class UpdateError(ReproError):
+    """An LDML update was malformed or not applicable."""
+
+
+class NotGroundError(UpdateError):
+    """A ground update contained variables or the equality predicate."""
+
+
+class QueryError(ReproError):
+    """A query was malformed or referenced invisible predicate constants."""
+
+
+class DependencyViolationError(TheoryError):
+    """A dependency axiom eliminated every model of the theory."""

@@ -1,0 +1,74 @@
+"""LDML — the Logical Data Manipulation Language (Section 3)."""
+
+from repro.ldml.ast import (
+    Assert_,
+    Delete,
+    GroundUpdate,
+    Insert,
+    Modify,
+    is_branching,
+)
+from repro.ldml.parser import parse_script, parse_update
+from repro.ldml.semantics import (
+    apply_to_world,
+    branches_on,
+    changed_atoms,
+    run_script_on_worlds,
+    update_worlds,
+)
+from repro.ldml.equivalence import (
+    are_equivalent,
+    counterexample_world,
+    equivalent_by_enumeration,
+    relevant_atoms,
+    theorem2_sufficient,
+    theorem3_equivalent,
+    theorem4_equivalent,
+)
+from repro.ldml.sql import translate_sql, translate_sql_script
+from repro.ldml.simultaneous import (
+    SimultaneousInsert,
+    apply_simultaneous_to_world,
+    differs_from_sequential,
+    update_worlds_simultaneously,
+)
+from repro.ldml.open_updates import OpenUpdate, parse_open_update
+from repro.ldml.policies import (
+    POLICIES,
+    apply_with_policy,
+    update_worlds_with_policy,
+)
+
+__all__ = [
+    "Assert_",
+    "Delete",
+    "GroundUpdate",
+    "Insert",
+    "Modify",
+    "is_branching",
+    "parse_script",
+    "parse_update",
+    "apply_to_world",
+    "branches_on",
+    "changed_atoms",
+    "run_script_on_worlds",
+    "update_worlds",
+    "are_equivalent",
+    "counterexample_world",
+    "equivalent_by_enumeration",
+    "relevant_atoms",
+    "theorem2_sufficient",
+    "theorem3_equivalent",
+    "theorem4_equivalent",
+    "translate_sql",
+    "translate_sql_script",
+    "SimultaneousInsert",
+    "apply_simultaneous_to_world",
+    "differs_from_sequential",
+    "update_worlds_simultaneously",
+    "OpenUpdate",
+    "parse_open_update",
+    "POLICIES",
+    "apply_with_policy",
+    "update_worlds_with_policy",
+]

@@ -1,0 +1,243 @@
+"""LDML ground updates (Section 3.1) and their reduction to INSERT.
+
+The four operators::
+
+    INSERT w WHERE phi
+    DELETE t WHERE phi & t
+    MODIFY t TO BE w WHERE phi & t
+    ASSERT phi
+
+``w`` and ``phi`` are wffs over L' — the language *without* predicate
+constants, variables, or equality (predicate constants "may not appear in any
+query posed to the database").  Constructors enforce this.
+
+Section 3.2 shows DELETE, MODIFY, and ASSERT are special cases of INSERT;
+``to_insert()`` performs those reductions, so one algorithm (GUA, written for
+INSERT) serves all four.  The reductions implemented are the semantically
+correct ones (each is verified against the model-level semantics in the test
+suite; the camera-ready text of the paper garbles two of them
+typographically):
+
+* ``DELETE t WHERE phi``              ->  ``INSERT !t WHERE phi & t``
+* ``MODIFY t TO BE w WHERE phi``      ->  ``INSERT w WHERE phi & t``
+  when t occurs in w, else              ``INSERT w & !t WHERE phi & t``
+* ``ASSERT phi``                      ->  ``INSERT F WHERE !phi``
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Union
+
+from repro.errors import NotGroundError, UpdateError
+from repro.logic.parser import parse, parse_atom
+from repro.logic.syntax import FALSE, TRUE, And, Atom, Formula, Not
+from repro.logic.terms import GroundAtom
+
+
+def _validate_dml_formula(formula: Formula, role: str) -> Formula:
+    """Enforce the L' restriction: no predicate constants in user updates."""
+    bad = formula.predicate_constants()
+    if bad:
+        names = ", ".join(sorted(str(pc) for pc in bad))
+        raise NotGroundError(
+            f"{role} may not mention predicate constants ({names}); they are "
+            "internal to the theory and invisible to LDML"
+        )
+    return formula
+
+
+def _as_formula(value: Union[Formula, str], role: str) -> Formula:
+    if isinstance(value, str):
+        value = parse(value)
+    if not isinstance(value, Formula):
+        raise UpdateError(f"{role} must be a formula, got {value!r}")
+    return _validate_dml_formula(value, role)
+
+
+def _as_atom(value: Union[GroundAtom, str], role: str) -> GroundAtom:
+    if isinstance(value, str):
+        value = parse_atom(value)
+    if not isinstance(value, GroundAtom):
+        raise UpdateError(
+            f"{role} must be a ground atomic formula, got {value!r}"
+        )
+    return value
+
+
+class GroundUpdate:
+    """Base class of the four LDML ground updates."""
+
+    __slots__ = ()
+
+    def to_insert(self) -> "Insert":
+        """This update expressed as an equivalent INSERT."""
+        raise NotImplementedError
+
+    def written_atoms(self) -> FrozenSet[GroundAtom]:
+        """The ground atoms whose valuations the update may change."""
+        return self.to_insert().body.ground_atoms()
+
+    def read_atoms(self) -> FrozenSet[GroundAtom]:
+        """The ground atoms the selection clause consults."""
+        return self.to_insert().where.ground_atoms()
+
+    def atoms(self) -> FrozenSet[GroundAtom]:
+        return self.written_atoms() | self.read_atoms()
+
+
+class Insert(GroundUpdate):
+    """``INSERT w WHERE phi`` — the fundamental operator.
+
+    ``w`` states the most exact, most recent knowledge about its atoms; after
+    the update it overrides all previous information about them (Section
+    3.2).  A disjunctive ``w`` makes this a *branching* update.
+    """
+
+    __slots__ = ("body", "where")
+
+    def __init__(self, body: Union[Formula, str], where: Union[Formula, str] = TRUE):
+        object.__setattr__(self, "body", _as_formula(body, "INSERT body w"))
+        object.__setattr__(self, "where", _as_formula(where, "selection clause"))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Insert is immutable")
+
+    def to_insert(self) -> "Insert":
+        return self
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Insert)
+            and self.body == other.body
+            and self.where == other.where
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Insert", self.body, self.where))
+
+    def __repr__(self) -> str:
+        return f"INSERT {self.body} WHERE {self.where}"
+
+
+class Delete(GroundUpdate):
+    """``DELETE t WHERE phi`` (the paper writes the clause ``phi & t``;
+    the conjunct ``t`` is implicit here and added by the reduction)."""
+
+    __slots__ = ("target", "where")
+
+    def __init__(self, target: Union[GroundAtom, str], where: Union[Formula, str] = TRUE):
+        object.__setattr__(self, "target", _as_atom(target, "DELETE target"))
+        object.__setattr__(self, "where", _as_formula(where, "selection clause"))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Delete is immutable")
+
+    def to_insert(self) -> Insert:
+        target_formula = Atom(self.target)
+        return Insert(
+            Not(target_formula), And((self.where, target_formula))
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Delete)
+            and self.target == other.target
+            and self.where == other.where
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Delete", self.target, self.where))
+
+    def __repr__(self) -> str:
+        return f"DELETE {self.target} WHERE {self.where} & {self.target}"
+
+
+class Modify(GroundUpdate):
+    """``MODIFY t TO BE w WHERE phi`` (clause conjunct ``t`` implicit)."""
+
+    __slots__ = ("target", "body", "where")
+
+    def __init__(
+        self,
+        target: Union[GroundAtom, str],
+        body: Union[Formula, str],
+        where: Union[Formula, str] = TRUE,
+    ):
+        object.__setattr__(self, "target", _as_atom(target, "MODIFY target"))
+        object.__setattr__(self, "body", _as_formula(body, "MODIFY body w"))
+        object.__setattr__(self, "where", _as_formula(where, "selection clause"))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Modify is immutable")
+
+    def to_insert(self) -> Insert:
+        target_formula = Atom(self.target)
+        clause = And((self.where, target_formula))
+        if self.target in self.body.ground_atoms():
+            return Insert(self.body, clause)
+        return Insert(And((self.body, Not(target_formula))), clause)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Modify)
+            and self.target == other.target
+            and self.body == other.body
+            and self.where == other.where
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Modify", self.target, self.body, self.where))
+
+    def __repr__(self) -> str:
+        return (
+            f"MODIFY {self.target} TO BE {self.body} "
+            f"WHERE {self.where} & {self.target}"
+        )
+
+
+class Assert_(GroundUpdate):
+    """``ASSERT phi`` — keep only the worlds where ``phi`` holds.
+
+    "ASSERT is the usual method for removing incomplete information when
+    more exact knowledge is obtained" (Section 3.2).
+    """
+
+    __slots__ = ("condition",)
+
+    def __init__(self, condition: Union[Formula, str]):
+        object.__setattr__(
+            self, "condition", _as_formula(condition, "ASSERT condition")
+        )
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Assert_ is immutable")
+
+    def to_insert(self) -> Insert:
+        return Insert(FALSE, Not(self.condition))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Assert_) and self.condition == other.condition
+
+    def __hash__(self) -> int:
+        return hash(("Assert_", self.condition))
+
+    def __repr__(self) -> str:
+        return f"ASSERT {self.condition}"
+
+
+def is_branching(update: GroundUpdate) -> bool:
+    """Could this update branch (map one world to several)?
+
+    An update branches on some world iff its body has more than one
+    satisfying valuation over the body's atoms ("an update may cause
+    branching when w contains 'or'", Section 3.2).
+    """
+    from repro.logic.dnf import satisfying_valuations
+
+    insert = update.to_insert()
+    count = 0
+    for _ in satisfying_valuations(insert.body):
+        count += 1
+        if count > 1:
+            return True
+    return False

@@ -1,0 +1,200 @@
+"""Update equivalence — Theorems 2, 3, and 4 of Section 3.4.
+
+Two updates are *equivalent* iff they produce the same alternative-world set
+when applied to every extended relational theory over L or any extension of
+L.  The theorems reduce that quantification over all theories to finite
+syntactic/valuation conditions on the updates themselves; this module
+implements each theorem as a decision procedure, plus a brute-force oracle
+(:func:`equivalent_by_enumeration`) used to validate the deciders.
+
+The paper's own examples, reproduced in the tests and in experiment E7/E8:
+
+* ``INSERT p WHERE T``   is *not* equivalent to  ``INSERT p | T WHERE T``
+  (V-sets differ: the latter admits worlds where p is false);
+* ``INSERT q WHERE p & !q`` *is* equivalent to  ``INSERT p WHERE p & !q``
+  — wait, the paper's pair is ``INSERT q WHERE p & q`` vs
+  ``INSERT p WHERE p & q``: there V1 != V2 projected on I = {} ... in fact
+  for that pair both behave as no-ops on every world satisfying the clause,
+  and Theorem 3's conditions (2)/(3) hold because the clause entails the
+  body atoms' values.  See ``tests/ldml/test_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.ldml.ast import GroundUpdate, Insert
+from repro.ldml.semantics import apply_to_world
+from repro.logic.dnf import valuation_set
+from repro.logic.entailment import equivalent as logically_equivalent
+from repro.logic.entailment import is_satisfiable, is_valid
+from repro.logic.syntax import And, Atom, Formula, Implies, Not
+from repro.logic.terms import GroundAtom
+from repro.logic.valuation import Valuation
+from repro.theory.worlds import AlternativeWorld
+
+
+def _projected_valuation_set(
+    body: Formula, onto: FrozenSet[GroundAtom]
+) -> Set[Valuation]:
+    """The paper's V-set: satisfying valuations of *body* over its own
+    atoms, projected onto the shared atom set ``I``."""
+    return {v.restricted(onto) for v in valuation_set(body)}
+
+
+def theorem2_sufficient(first: GroundUpdate, second: GroundUpdate) -> bool:
+    """Theorem 2's *sufficient* condition for equivalence.
+
+    Same selection clause, logically equivalent bodies, identical body atom
+    sets.  Sufficient but not necessary (Theorem 2 discussion).
+    """
+    b1, b2 = first.to_insert(), second.to_insert()
+    if b1.where != b2.where:
+        return False
+    if b1.body.ground_atoms() != b2.body.ground_atoms():
+        return False
+    return logically_equivalent(b1.body, b2.body)
+
+
+def theorem3_equivalent(first: GroundUpdate, second: GroundUpdate) -> bool:
+    """Theorem 3: necessary-and-sufficient equivalence, same clause.
+
+    With ``B_i = INSERT w_i WHERE phi``:
+
+    * phi unsatisfiable           -> equivalent;
+    * V1 != V2 (projected on I)   -> not equivalent (condition 1);
+    * an atom g private to w1 must have its value pinned identically by both
+      w1 and phi (condition 2), and symmetrically for w2 (condition 3).
+    """
+    b1, b2 = first.to_insert(), second.to_insert()
+    if b1.where != b2.where:
+        raise ValueError(
+            "theorem3_equivalent requires identical selection clauses; "
+            "use theorem4_equivalent for differing clauses"
+        )
+    phi = b1.where
+    if not is_satisfiable(phi):
+        return True
+
+    atoms1 = b1.body.ground_atoms()
+    atoms2 = b2.body.ground_atoms()
+    shared = atoms1 & atoms2
+
+    v1 = _projected_valuation_set(b1.body, shared)
+    v2 = _projected_valuation_set(b2.body, shared)
+    if v1 != v2:
+        return False
+    if not v1:
+        # Both bodies unsatisfiable: both updates annihilate every world
+        # where phi holds — equivalent regardless of private atoms.
+        return True
+
+    for g in atoms1 - atoms2:
+        if not _pins_atom(b1.body, phi, g):
+            return False
+    for g in atoms2 - atoms1:
+        if not _pins_atom(b2.body, phi, g):
+            return False
+    return True
+
+
+def _pins_atom(body: Formula, phi: Formula, g: GroundAtom) -> bool:
+    """Conditions (2)/(3) of Theorem 3 for one private atom *g*:
+    ``(w -> g) & (phi -> g)`` valid, or ``(w -> !g) & (phi -> !g)`` valid."""
+    g_atom = Atom(g)
+    positive = And((Implies(body, g_atom), Implies(phi, g_atom)))
+    negative = And((Implies(body, Not(g_atom)), Implies(phi, Not(g_atom))))
+    return is_valid(positive) or is_valid(negative)
+
+
+def theorem4_equivalent(first: GroundUpdate, second: GroundUpdate) -> bool:
+    """Theorem 4: necessary-and-sufficient equivalence, differing clauses.
+
+    With ``B_i = INSERT w_i WHERE phi_i``, B1 ~ B2 iff
+
+    1. ``INSERT w1 WHERE phi1 & phi2`` ~ ``INSERT w2 WHERE phi1 & phi2``
+       (decided by Theorem 3);
+    2. ``(phi1 & !phi2) -> w1`` and ``(phi2 & !phi1) -> w2`` are valid; and
+    3. if ``phi1 & !phi2`` is satisfiable then w1 has exactly one satisfying
+       valuation over its atoms, and symmetrically for w2.
+    """
+    b1, b2 = first.to_insert(), second.to_insert()
+    phi1, phi2 = b1.where, b2.where
+    both = And((phi1, phi2))
+
+    restricted1 = Insert(b1.body, both)
+    restricted2 = Insert(b2.body, both)
+    if not theorem3_equivalent(restricted1, restricted2):
+        return False
+
+    only1 = And((phi1, Not(phi2)))
+    only2 = And((phi2, Not(phi1)))
+    if is_satisfiable(only1):
+        if not is_valid(Implies(only1, b1.body)):
+            return False
+        if len(valuation_set(b1.body)) != 1:
+            return False
+    if is_satisfiable(only2):
+        if not is_valid(Implies(only2, b2.body)):
+            return False
+        if len(valuation_set(b2.body)) != 1:
+            return False
+    return True
+
+
+def are_equivalent(first: GroundUpdate, second: GroundUpdate) -> bool:
+    """Decide update equivalence via the appropriate theorem."""
+    b1, b2 = first.to_insert(), second.to_insert()
+    if b1.where == b2.where:
+        return theorem3_equivalent(b1, b2)
+    return theorem4_equivalent(b1, b2)
+
+
+# -- brute-force oracle ----------------------------------------------------------
+
+
+def relevant_atoms(
+    first: GroundUpdate, second: GroundUpdate
+) -> Tuple[GroundAtom, ...]:
+    """Atoms an equivalence check must consider: everything either update
+    reads or writes."""
+    return tuple(sorted(first.atoms() | second.atoms()))
+
+
+def equivalent_by_enumeration(
+    first: GroundUpdate,
+    second: GroundUpdate,
+    extra_atoms: Iterable[GroundAtom] = (),
+) -> bool:
+    """Ground-truth equivalence by exhaustive single-world theories.
+
+    An update's S-set on a world depends only on the world's restriction to
+    the update's atoms, and only atoms of the body change; hence equivalence
+    over all extended relational theories holds iff the S-sets agree on
+    every valuation of the relevant atoms (the proofs of Theorems 3/4 use
+    exactly such single-world theories).  *extra_atoms* lets callers model
+    language extensions (the Section 3.5 "spurious equivalence" guard).
+    """
+    atoms = sorted(set(relevant_atoms(first, second)) | set(extra_atoms))
+    for true_subset_size in range(len(atoms) + 1):
+        for true_atoms in itertools.combinations(atoms, true_subset_size):
+            world = AlternativeWorld(true_atoms)
+            if apply_to_world(first, world) != apply_to_world(second, world):
+                return False
+    return True
+
+
+def counterexample_world(
+    first: GroundUpdate,
+    second: GroundUpdate,
+    extra_atoms: Iterable[GroundAtom] = (),
+) -> Optional[AlternativeWorld]:
+    """A world on which the two updates disagree, or None if equivalent."""
+    atoms = sorted(set(relevant_atoms(first, second)) | set(extra_atoms))
+    for true_subset_size in range(len(atoms) + 1):
+        for true_atoms in itertools.combinations(atoms, true_subset_size):
+            world = AlternativeWorld(true_atoms)
+            if apply_to_world(first, world) != apply_to_world(second, world):
+                return world
+    return None

@@ -1,0 +1,113 @@
+"""Surface parser for LDML statements.
+
+Accepted statements (keywords case-insensitive; ``WHERE`` defaults to ``T``)::
+
+    INSERT <wff> [WHERE <wff>]
+    DELETE <atom> [WHERE <wff>]
+    MODIFY <atom> TO BE <wff> [WHERE <wff>]
+    ASSERT <wff>
+
+``WHERE`` and ``TO BE`` are reserved words: they are recognized at the top
+level of the statement (outside parentheses), so predicate and constant
+names may not be spelled ``WHERE``/``TO``/``BE`` in any letter case.
+Formula syntax is that of :mod:`repro.logic.parser`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.ldml.ast import Assert_, Delete, GroundUpdate, Insert, Modify
+from repro.logic.parser import parse, parse_atom
+from repro.logic.syntax import TRUE
+
+_VERB_RE = re.compile(r"\s*(INSERT|DELETE|MODIFY|ASSERT)\b", re.IGNORECASE)
+
+
+def _split_reserved(text: str, word_pattern: str) -> Tuple[str, Optional[str]]:
+    """Split *text* at the first top-level (paren-depth-0) reserved word.
+
+    Returns (before, after) with the reserved word removed, or
+    (text, None) when the word does not occur at depth 0.
+    """
+    regex = re.compile(word_pattern, re.IGNORECASE)
+    depth = 0
+    for index, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif depth == 0:
+            match = regex.match(text, index)
+            if match and _is_word_boundary(text, index, match.end()):
+                return text[:index], text[match.end():]
+    return text, None
+
+
+def _is_word_boundary(text: str, start: int, end: int) -> bool:
+    before_ok = start == 0 or not (text[start - 1].isalnum() or text[start - 1] == "_")
+    after_ok = end == len(text) or not (text[end].isalnum() or text[end] == "_")
+    return before_ok and after_ok
+
+
+def parse_update(text: str) -> GroundUpdate:
+    """Parse one LDML statement into a :class:`GroundUpdate`.
+
+    >>> parse_update("INSERT Orders(800,32,1000) WHERE !Orders(800,32,100)")
+    INSERT Orders(800,32,1000) WHERE !Orders(800,32,100)
+    """
+    match = _VERB_RE.match(text)
+    if match is None:
+        raise ParseError(
+            "LDML statement must start with INSERT, DELETE, MODIFY, or ASSERT",
+            text,
+            0,
+        )
+    verb = match.group(1).upper()
+    rest = text[match.end():].strip()
+    if not rest:
+        raise ParseError(f"{verb} needs an argument", text, len(text))
+
+    if verb == "ASSERT":
+        return Assert_(parse(rest))
+
+    body_text, where_text = _split_reserved(rest, r"WHERE")
+    where = parse(where_text) if where_text is not None else TRUE
+    body_text = body_text.strip()
+    if not body_text:
+        raise ParseError(f"{verb} needs a formula before WHERE", text, 0)
+
+    if verb == "INSERT":
+        return Insert(parse(body_text), where)
+
+    if verb == "DELETE":
+        return Delete(parse_atom(body_text), where)
+
+    # MODIFY t TO BE w
+    target_text, tobe_text = _split_reserved(body_text, r"TO\s+BE")
+    if tobe_text is None:
+        raise ParseError("MODIFY requires 'TO BE'", text, 0)
+    target_text = target_text.strip()
+    tobe_text = tobe_text.strip()
+    if not target_text or not tobe_text:
+        raise ParseError("MODIFY requires both a target and a TO BE body", text, 0)
+    return Modify(parse_atom(target_text), parse(tobe_text), where)
+
+
+def parse_script(text: str) -> List[GroundUpdate]:
+    """Parse a ';'-separated sequence of LDML statements.
+
+    Blank statements and ``--`` line comments are ignored, so update scripts
+    can be written as readable files.
+    """
+    without_comments = "\n".join(
+        line.split("--", 1)[0] for line in text.splitlines()
+    )
+    updates = []
+    for statement in without_comments.split(";"):
+        statement = statement.strip()
+        if statement:
+            updates.append(parse_update(statement))
+    return updates

@@ -1,0 +1,127 @@
+"""Alternative update semantics via Step-4 restriction policies.
+
+Section 3.4: "algorithm GUA is sufficiently general to serve under other
+choices of semantics simply by altering formula (1) of Step 4."  This module
+makes that remark concrete.  A *restriction policy* fixes what happens to
+the updated atoms in models where the selection clause did **not** fire, and
+what "fired" means for the old values:
+
+``winslett`` (the paper's semantics)
+    Formula (1) as printed: ``!(phi)σ -> (f <-> p_f)``.  Non-selected
+    worlds keep their old valuations; selected worlds revalue atoms(w)
+    freely subject to w.
+
+``amnesic``
+    Formula (1) dropped.  The update *forgets* the old values of atoms(w)
+    everywhere: non-selected worlds branch over every valuation of
+    atoms(w); selected worlds behave as in Winslett semantics.  (The
+    "most-destructive" end of the design space.)
+
+``guarded``
+    Formula (1) without its guard: ``f <-> p_f`` outright.  Old values are
+    *pinned* even in selected worlds, so the body acts as a filter: a
+    selected world survives iff its existing valuation already satisfies
+    ``w`` — i.e. the update degenerates to ``ASSERT (phi -> w)``.  (The
+    "most-conservative" end.)
+
+Each policy has a model-level definition (:func:`apply_with_policy`, the
+oracle) and a syntactic realization inside GUA
+(:meth:`~repro.core.gua.GuaExecutor`'s ``restriction_policy`` option); the
+test suite checks the commutative diagram *per policy*.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence
+
+from repro.errors import UpdateError
+from repro.ldml.ast import GroundUpdate
+from repro.ldml.semantics import _world_is_legal
+from repro.logic.dnf import satisfying_valuations
+from repro.logic.terms import GroundAtom
+from repro.logic.valuation import Valuation
+from repro.theory.dependencies import TemplateDependency
+from repro.theory.schema import DatabaseSchema
+from repro.theory.worlds import AlternativeWorld
+
+POLICIES = ("winslett", "amnesic", "guarded")
+
+
+def check_policy(policy: str) -> str:
+    if policy not in POLICIES:
+        raise UpdateError(
+            f"unknown restriction policy {policy!r}; expected one of {POLICIES}"
+        )
+    return policy
+
+
+def apply_with_policy(
+    update: GroundUpdate,
+    world: AlternativeWorld,
+    policy: str = "winslett",
+    *,
+    schema: Optional[DatabaseSchema] = None,
+    dependencies: Sequence[TemplateDependency] = (),
+) -> FrozenSet[AlternativeWorld]:
+    """The S-set of *update* on *world* under the chosen policy."""
+    check_policy(policy)
+    insert = update.to_insert()
+    selected = world.satisfies(insert.where)
+    body_atoms = sorted(
+        atom for atom in insert.body.ground_atoms()
+    )
+
+    if policy == "guarded":
+        if not selected:
+            return frozenset({world})
+        # Old values pinned: survive iff the body already holds.
+        if world.satisfies(insert.body):
+            return frozenset({world})
+        return frozenset()
+
+    if not selected:
+        if policy == "winslett":
+            return frozenset({world})
+        # amnesic: branch over every valuation of the body's atoms.
+        produced = set()
+        for valuation in Valuation.all_over(body_atoms):
+            candidate = world.updated(dict(valuation))
+            if _world_is_legal(candidate, schema, dependencies):
+                produced.add(candidate)
+        return frozenset(produced)
+
+    # Selected world: winslett and amnesic agree — revalue to satisfy w.
+    produced = set()
+    for valuation in satisfying_valuations(insert.body):
+        assignment = {
+            atom: value
+            for atom, value in valuation.items()
+            if isinstance(atom, GroundAtom)
+        }
+        candidate = world.updated(assignment)
+        if _world_is_legal(candidate, schema, dependencies):
+            produced.add(candidate)
+    return frozenset(produced)
+
+
+def update_worlds_with_policy(
+    worlds: Iterable[AlternativeWorld],
+    update: GroundUpdate,
+    policy: str = "winslett",
+    *,
+    schema: Optional[DatabaseSchema] = None,
+    dependencies: Sequence[TemplateDependency] = (),
+) -> FrozenSet[AlternativeWorld]:
+    """Union of per-world S-sets under the chosen policy."""
+    result = set()
+    for world in worlds:
+        result.update(
+            apply_with_policy(
+                update,
+                world,
+                policy,
+                schema=schema,
+                dependencies=dependencies,
+            )
+        )
+    return frozenset(result)

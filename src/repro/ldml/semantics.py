@@ -1,0 +1,120 @@
+"""Model-level update semantics (Section 3.2) — the library's oracle.
+
+These functions implement the S-set definitions literally, world by world.
+They serve two roles:
+
+* the *specification* against which algorithm GUA is verified (the
+  commutative diagram: update the theory with GUA, or update every
+  alternative world here — the world sets must match); and
+* the engine of the naive baseline store (:mod:`repro.core.naive`).
+
+Rule 3 of Section 3.5 (type/dependency filtering) is applied when a schema
+or dependencies are supplied: a *produced* world that violates an axiom is
+removed from S.  Worlds left untouched by the update (selection clause
+false) are never filtered — they were legal before, and remain so.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.ldml.ast import GroundUpdate
+from repro.logic.dnf import satisfying_valuations
+from repro.logic.terms import GroundAtom
+from repro.theory.dependencies import TemplateDependency
+from repro.theory.schema import DatabaseSchema
+from repro.theory.worlds import AlternativeWorld
+
+
+def _world_is_legal(
+    world: AlternativeWorld,
+    schema: Optional[DatabaseSchema],
+    dependencies: Sequence[TemplateDependency],
+) -> bool:
+    if schema is not None and not schema.world_satisfies_types(world.true_atoms):
+        return False
+    return all(d.holds_in_world(world.true_atoms) for d in dependencies)
+
+
+def apply_to_world(
+    update: GroundUpdate,
+    world: AlternativeWorld,
+    *,
+    schema: Optional[DatabaseSchema] = None,
+    dependencies: Sequence[TemplateDependency] = (),
+) -> FrozenSet[AlternativeWorld]:
+    """The S-set of *update* applied to one alternative world.
+
+    Everything is routed through the INSERT definition, which the paper
+    proves subsumes the other three operators.  For ``INSERT w WHERE phi``:
+
+    * phi false in the world -> S = {world};
+    * otherwise S holds every world that agrees with the original outside
+      ``atoms(w)`` and satisfies ``w`` — one world per satisfying valuation
+      of ``w`` over its own atoms (branching when there are several);
+    * rule 3: produced worlds violating type/dependency axioms are dropped.
+    """
+    insert = update.to_insert()
+    if not world.satisfies(insert.where):
+        return frozenset({world})
+    produced = set()
+    for valuation in satisfying_valuations(insert.body):
+        assignment = {
+            atom: value
+            for atom, value in valuation.items()
+            if isinstance(atom, GroundAtom)
+        }
+        candidate = world.updated(assignment)
+        if _world_is_legal(candidate, schema, dependencies):
+            produced.add(candidate)
+    return frozenset(produced)
+
+
+def update_worlds(
+    worlds: Iterable[AlternativeWorld],
+    update: GroundUpdate,
+    *,
+    schema: Optional[DatabaseSchema] = None,
+    dependencies: Sequence[TemplateDependency] = (),
+) -> FrozenSet[AlternativeWorld]:
+    """Union of per-world S-sets — "the parallel computation method"."""
+    result = set()
+    for world in worlds:
+        result.update(
+            apply_to_world(
+                update, world, schema=schema, dependencies=dependencies
+            )
+        )
+    return frozenset(result)
+
+
+def run_script_on_worlds(
+    worlds: Iterable[AlternativeWorld],
+    updates: Sequence[GroundUpdate],
+    *,
+    schema: Optional[DatabaseSchema] = None,
+    dependencies: Sequence[TemplateDependency] = (),
+) -> FrozenSet[AlternativeWorld]:
+    """Apply a sequence of updates, world-level, in order."""
+    current: FrozenSet[AlternativeWorld] = frozenset(worlds)
+    for update in updates:
+        current = update_worlds(
+            current, update, schema=schema, dependencies=dependencies
+        )
+    return current
+
+
+def branches_on(update: GroundUpdate, world: AlternativeWorld) -> bool:
+    """Does *update* branch when applied to *world* (|S| > 1)?"""
+    return len(apply_to_world(update, world)) > 1
+
+
+def changed_atoms(
+    update: GroundUpdate, world: AlternativeWorld
+) -> Tuple[GroundAtom, ...]:
+    """Atoms whose value differs in at least one produced world."""
+    produced = apply_to_world(update, world)
+    changed = set()
+    for result in produced:
+        changed.update(result.true_atoms ^ world.true_atoms)
+    return tuple(sorted(changed))

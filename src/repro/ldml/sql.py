@@ -1,0 +1,125 @@
+"""A miniature SQL-style front end, embedded in LDML.
+
+Section 3 notes that "traditional data manipulation languages such as SQL
+and INGRES may be embedded in LDML".  This module demonstrates the embedding
+for ground statements against a known schema::
+
+    INSERT INTO Orders VALUES (700, 32, 9)
+    DELETE FROM Orders VALUES (700, 32, 9)
+    UPDATE Orders SET (700, 32, 9) TO (700, 32, 1)
+
+Each statement takes an optional trailing ``IF <wff>`` selection clause that
+becomes the LDML ``WHERE``.  When a schema is supplied, inserted tuples are
+attribute-tagged per the Section 3.5 recommendation (``INSERT R(a,b,c)``
+becomes ``INSERT R(a,b,c) & A1(a) & A2(b) & A3(c)``) so type axioms never
+silently remove the new worlds.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError, SchemaError
+from repro.ldml.ast import Delete, GroundUpdate, Insert, Modify
+from repro.logic.parser import parse
+from repro.logic.syntax import TRUE, Atom, Formula
+from repro.logic.terms import Constant, GroundAtom
+from repro.theory.schema import DatabaseSchema
+
+_INSERT_RE = re.compile(
+    r"\s*INSERT\s+INTO\s+(\w+)\s+VALUES\s*\(([^)]*)\)\s*(?:IF\s+(.*))?$",
+    re.IGNORECASE | re.DOTALL,
+)
+_DELETE_RE = re.compile(
+    r"\s*DELETE\s+FROM\s+(\w+)\s+VALUES\s*\(([^)]*)\)\s*(?:IF\s+(.*))?$",
+    re.IGNORECASE | re.DOTALL,
+)
+_UPDATE_RE = re.compile(
+    r"\s*UPDATE\s+(\w+)\s+SET\s*\(([^)]*)\)\s*TO\s*\(([^)]*)\)\s*(?:IF\s+(.*))?$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def _parse_values(raw: str, statement: str) -> Tuple[Constant, ...]:
+    parts = [part.strip() for part in raw.split(",")]
+    if not parts or any(not part for part in parts):
+        raise ParseError("malformed VALUES list", statement, 0)
+    constants = []
+    for part in parts:
+        if part.startswith(("'", '"')) and part.endswith(part[0]) and len(part) >= 2:
+            part = part[1:-1]
+        constants.append(Constant(part))
+    return tuple(constants)
+
+
+def _atom_for(
+    schema: Optional[DatabaseSchema], relation_name: str, values: Tuple[Constant, ...]
+) -> GroundAtom:
+    if schema is not None:
+        relation = schema.relation(relation_name)
+        if relation.arity != len(values):
+            raise SchemaError(
+                f"{relation_name} takes {relation.arity} values, got {len(values)}"
+            )
+        return relation(*values)
+    from repro.logic.terms import Predicate
+
+    return Predicate(relation_name, len(values))(*values)
+
+
+def _where(condition_text: Optional[str]) -> Formula:
+    if condition_text is None or not condition_text.strip():
+        return TRUE
+    return parse(condition_text.strip())
+
+
+def translate_sql(
+    statement: str, schema: Optional[DatabaseSchema] = None
+) -> GroundUpdate:
+    """Translate one SQL-ish statement into an LDML ground update."""
+    match = _INSERT_RE.match(statement)
+    if match:
+        relation_name, values_raw, condition = match.groups()
+        atom = _atom_for(schema, relation_name, _parse_values(values_raw, statement))
+        body: Formula = Atom(atom)
+        if schema is not None:
+            body = schema.tag_with_attributes(body)
+        return Insert(body, _where(condition))
+
+    match = _DELETE_RE.match(statement)
+    if match:
+        relation_name, values_raw, condition = match.groups()
+        atom = _atom_for(schema, relation_name, _parse_values(values_raw, statement))
+        return Delete(atom, _where(condition))
+
+    match = _UPDATE_RE.match(statement)
+    if match:
+        relation_name, old_raw, new_raw, condition = match.groups()
+        old_atom = _atom_for(schema, relation_name, _parse_values(old_raw, statement))
+        new_atom = _atom_for(schema, relation_name, _parse_values(new_raw, statement))
+        body: Formula = Atom(new_atom)
+        if schema is not None:
+            body = schema.tag_with_attributes(body)
+        return Modify(old_atom, body, _where(condition))
+
+    raise ParseError(
+        "unrecognized SQL statement (expected INSERT INTO / DELETE FROM / "
+        "UPDATE ... SET ... TO ...)",
+        statement,
+        0,
+    )
+
+
+def translate_sql_script(
+    script: str, schema: Optional[DatabaseSchema] = None
+) -> List[GroundUpdate]:
+    """Translate a ';'-separated SQL script (``--`` comments allowed)."""
+    without_comments = "\n".join(
+        line.split("--", 1)[0] for line in script.splitlines()
+    )
+    return [
+        translate_sql(statement, schema)
+        for statement in without_comments.split(";")
+        if statement.strip()
+    ]

@@ -1,0 +1,194 @@
+"""Clause-form conversion: CNF, both direct (equivalence-preserving) and
+Tseitin (equisatisfiable, linear-size).
+
+A clause is represented as a frozenset of signed literals ``(atom, polarity)``
+and a CNF as a tuple of clauses.  The SAT solver consumes this form.
+
+Two converters are provided because they serve different masters:
+
+* :func:`to_cnf` distributes Or over And.  Exponential in the worst case but
+  preserves logical *equivalence*, which the entailment procedures on small
+  update formulas want.
+* :func:`tseitin` introduces one fresh selector variable per internal node.
+  Linear-size and equisatisfiable, which is what world counting and theory
+  consistency checks over big theories want.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.terms import AtomLike, PredicateConstant
+from repro.logic.transform import fold_constants, to_nnf
+
+#: A literal is an atom with a polarity; a clause is a disjunction of them.
+Literal = Tuple[AtomLike, bool]
+Clause = FrozenSet[Literal]
+CNF = Tuple[Clause, ...]
+
+
+def clause(*literals: Literal) -> Clause:
+    return frozenset(literals)
+
+
+def _is_tautological(c: Clause) -> bool:
+    return any((atom_, not polarity) in c for atom_, polarity in c)
+
+
+def to_cnf(formula: Formula) -> CNF:
+    """Equivalence-preserving CNF of *formula*.
+
+    Returns ``()`` for a tautology and ``(frozenset(),)`` (the empty clause)
+    for a contradiction.  Tautological and subsumed clauses are removed.
+    """
+    nnf = fold_constants(to_nnf(formula))
+    if isinstance(nnf, Top):
+        return ()
+    if isinstance(nnf, Bottom):
+        return (frozenset(),)
+    clauses = _cnf_of_nnf(nnf)
+    cleaned = [c for c in clauses if not _is_tautological(c)]
+    return _drop_subsumed(cleaned)
+
+
+def _cnf_of_nnf(formula: Formula) -> List[Clause]:
+    if isinstance(formula, Atom):
+        return [clause((formula.atom, True))]
+    if isinstance(formula, Not):
+        inner = formula.operand
+        assert isinstance(inner, Atom), "NNF guarantees negations sit on atoms"
+        return [clause((inner.atom, False))]
+    if isinstance(formula, And):
+        result: List[Clause] = []
+        for op in formula.operands:
+            result.extend(_cnf_of_nnf(op))
+        return result
+    if isinstance(formula, Or):
+        branches = [_cnf_of_nnf(op) for op in formula.operands]
+        result = []
+        for combo in itertools.product(*branches):
+            merged: Clause = frozenset().union(*combo)
+            result.append(merged)
+        return result
+    raise TypeError(f"unexpected node in NNF: {formula!r}")
+
+
+def _drop_subsumed(clauses: Sequence[Clause]) -> CNF:
+    """Remove duplicate and strictly-subsumed clauses (c1 ⊆ c2 kills c2)."""
+    unique = sorted(set(clauses), key=len)
+    kept: List[Clause] = []
+    for candidate in unique:
+        if any(existing <= candidate for existing in kept):
+            continue
+        kept.append(candidate)
+    return tuple(kept)
+
+
+class TseitinResult:
+    """Output of the Tseitin transform.
+
+    Attributes:
+        clauses: the equisatisfiable CNF.
+        root: literal asserting the original formula (already in ``clauses``).
+        selectors: fresh predicate constants introduced; models should be
+            projected onto the original atoms by dropping these.
+    """
+
+    __slots__ = ("clauses", "root", "selectors")
+
+    def __init__(self, clauses: CNF, root: Literal, selectors: FrozenSet[AtomLike]):
+        self.clauses = clauses
+        self.root = root
+        self.selectors = selectors
+
+
+def tseitin(formula: Formula, prefix: str = "@ts") -> TseitinResult:
+    """Equisatisfiable linear-size CNF via fresh selector variables.
+
+    Selector names are ``{prefix}0, {prefix}1, ...`` — predicate constants,
+    so they are automatically invisible in alternative worlds.
+    """
+    nnf = fold_constants(to_nnf(formula))
+    if isinstance(nnf, Top):
+        root_atom = PredicateConstant(f"{prefix}_top")
+        return TseitinResult(
+            (clause((root_atom, True)),), (root_atom, True), frozenset({root_atom})
+        )
+    if isinstance(nnf, Bottom):
+        root_atom = PredicateConstant(f"{prefix}_bot")
+        return TseitinResult(
+            (clause((root_atom, True)), clause((root_atom, False))),
+            (root_atom, True),
+            frozenset({root_atom}),
+        )
+
+    counter = itertools.count()
+    selectors: List[AtomLike] = []
+    clauses: List[Clause] = []
+    cache: Dict[Formula, Literal] = {}
+
+    def fresh() -> AtomLike:
+        selector = PredicateConstant(f"{prefix}{next(counter)}")
+        selectors.append(selector)
+        return selector
+
+    def encode(node: Formula) -> Literal:
+        if node in cache:
+            return cache[node]
+        if isinstance(node, Atom):
+            lit: Literal = (node.atom, True)
+        elif isinstance(node, Not):
+            inner = node.operand
+            assert isinstance(inner, Atom)
+            lit = (inner.atom, False)
+        elif isinstance(node, And):
+            parts = [encode(op) for op in node.operands]
+            sel = fresh()
+            lit = (sel, True)
+            # sel -> each part;  all parts -> sel
+            for part_atom, part_pol in parts:
+                clauses.append(clause((sel, False), (part_atom, part_pol)))
+            clauses.append(
+                clause((sel, True), *[(a, not p) for a, p in parts])
+            )
+        elif isinstance(node, Or):
+            parts = [encode(op) for op in node.operands]
+            sel = fresh()
+            lit = (sel, True)
+            # sel -> some part;  each part -> sel
+            clauses.append(clause((sel, False), *parts))
+            for part_atom, part_pol in parts:
+                clauses.append(clause((sel, True), (part_atom, not part_pol)))
+        else:
+            raise TypeError(f"unexpected node in NNF: {node!r}")
+        cache[node] = lit
+        return lit
+
+    root = encode(nnf)
+    clauses.append(clause(root))
+    return TseitinResult(tuple(clauses), root, frozenset(selectors))
+
+
+def cnf_to_formula(clauses: CNF) -> Formula:
+    """Rebuild a formula from clause form (for printing / round-trips)."""
+    from repro.logic.syntax import FALSE, TRUE, conjoin, disjoin, literal
+
+    if not clauses:
+        return TRUE
+    parts = []
+    for c in clauses:
+        if not c:
+            return FALSE
+        lits = sorted(c, key=lambda lv: (str(lv[0]), lv[1]))
+        parts.append(disjoin([literal(a, p) for a, p in lits]))
+    return conjoin(parts)

@@ -1,0 +1,111 @@
+"""Disjunctive normal form and satisfying-valuation enumeration over a
+formula's own atoms.
+
+The equivalence theorems of Section 3.4 are phrased in terms of the set of
+truth valuations *over the atoms of w* that satisfy w (the sets ``V1``/``V2``
+of Theorem 3).  Update bodies are small, so explicit enumeration is both the
+simplest and the intended tool; :func:`satisfying_valuations` is the direct
+realization and is used by the equivalence deciders and by the model-level
+INSERT semantics (enumerating the ways to make ``w`` true).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterator, List, Set, Tuple
+
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.terms import AtomLike, sort_atoms
+from repro.logic.transform import fold_constants, to_nnf
+from repro.logic.valuation import Valuation
+
+#: A term (product) of a DNF: a consistent set of signed literals.
+Term = FrozenSet[Tuple[AtomLike, bool]]
+DNF = Tuple[Term, ...]
+
+
+def to_dnf(formula: Formula) -> DNF:
+    """Equivalence-preserving DNF.
+
+    Returns ``(frozenset(),)`` (the empty, always-true term) for a tautology
+    and ``()`` for a contradiction.  Inconsistent terms are dropped.
+    """
+    nnf = fold_constants(to_nnf(formula))
+    if isinstance(nnf, Top):
+        return (frozenset(),)
+    if isinstance(nnf, Bottom):
+        return ()
+    terms = _dnf_of_nnf(nnf)
+    consistent = [t for t in terms if not _contradictory(t)]
+    return _drop_subsumed_terms(consistent)
+
+
+def _contradictory(term: Term) -> bool:
+    return any((atom_, not polarity) in term for atom_, polarity in term)
+
+
+def _dnf_of_nnf(formula: Formula) -> List[Term]:
+    if isinstance(formula, Atom):
+        return [frozenset({(formula.atom, True)})]
+    if isinstance(formula, Not):
+        inner = formula.operand
+        assert isinstance(inner, Atom)
+        return [frozenset({(inner.atom, False)})]
+    if isinstance(formula, Or):
+        result: List[Term] = []
+        for op in formula.operands:
+            result.extend(_dnf_of_nnf(op))
+        return result
+    if isinstance(formula, And):
+        branches = [_dnf_of_nnf(op) for op in formula.operands]
+        result = []
+        for combo in itertools.product(*branches):
+            merged: Term = frozenset().union(*combo)
+            result.append(merged)
+        return result
+    raise TypeError(f"unexpected node in NNF: {formula!r}")
+
+
+def _drop_subsumed_terms(terms: List[Term]) -> DNF:
+    """A term subsumes any superset term (t1 ⊆ t2 makes t2 redundant)."""
+    unique = sorted(set(terms), key=len)
+    kept: List[Term] = []
+    for candidate in unique:
+        if any(existing <= candidate for existing in kept):
+            continue
+        kept.append(candidate)
+    return tuple(kept)
+
+
+def satisfying_valuations(formula: Formula) -> Iterator[Valuation]:
+    """Every total valuation over ``formula.atoms()`` that satisfies it.
+
+    This is the paper's ``V`` set for an update body (Theorem 3): each yielded
+    valuation assigns *all* atoms of the formula.  Enumeration is by
+    truth-table over the formula's own atoms, deterministic in atom order.
+    Update bodies are small by construction (they are typed by a user), so
+    2^n enumeration is the honest cost model here.
+    """
+    atoms = sort_atoms(formula.atoms())
+    for valuation in Valuation.all_over(atoms):
+        if evaluate(formula, valuation, closed_world=False):
+            yield valuation
+
+
+def valuation_set(formula: Formula) -> Set[Valuation]:
+    """Materialized :func:`satisfying_valuations` (the V-set of Theorem 3)."""
+    return set(satisfying_valuations(formula))
+
+
+def count_satisfying(formula: Formula) -> int:
+    """Number of satisfying valuations over the formula's own atoms."""
+    return sum(1 for _ in satisfying_valuations(formula))

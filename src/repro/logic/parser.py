@@ -1,0 +1,250 @@
+"""Recursive-descent parser for ground formulas.
+
+Grammar (tightest binding first)::
+
+    formula    := iff
+    iff        := implies ( '<->' implies )*          (left-assoc chain)
+    implies    := or ( '->' implies )?                (right-assoc)
+    or         := and ( '|' and )*
+    and        := unary ( '&' unary )*
+    unary      := '!' unary | primary
+    primary    := 'T' | 'F' | atom | '(' formula ')'
+    atom       := IDENT '(' const ( ',' const )* ')'  -- ground atom
+                | IDENT                               -- predicate constant
+    const      := IDENT | NUMBER | STRING
+
+Bare identifiers (no argument list) denote predicate constants — the 0-ary
+predicates of the language.  ``T`` and ``F`` are the truth values and are
+therefore reserved.  The unicode connectives from the paper are accepted as
+aliases so examples can be pasted verbatim.
+
+The parser is total over its grammar: any failure raises
+:class:`repro.errors.ParseError` with the offset of the offending token.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.errors import ParseError
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.logic.terms import Constant, GroundAtom, Predicate, PredicateConstant
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<IFF><->|↔)
+  | (?P<IMPLIES>->|→)
+  | (?P<AND>&|∧|/\\)
+  | (?P<OR>\||∨|\\/)
+  | (?P<NOT>!|~|¬)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<NUMBER>-?\d+)
+  | (?P<IDENT>@?[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<STRING>'[^']*'|"[^"]*")
+    """,
+    re.VERBOSE,
+)
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split *text* into tokens, raising ParseError on unknown characters."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", text, position
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Stateful cursor over the token list; one instance per parse call."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- cursor helpers ------------------------------------------------------
+
+    def peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            found = token.value if token else "end of input"
+            where = token.position if token else len(self.text)
+            raise ParseError(f"expected {kind}, found {found!r}", self.text, where)
+        return self.advance()
+
+    def at(self, kind: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == kind
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self.parse_iff()
+
+    def parse_iff(self) -> Formula:
+        left = self.parse_implies()
+        while self.at("IFF"):
+            self.advance()
+            right = self.parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def parse_implies(self) -> Formula:
+        left = self.parse_or()
+        if self.at("IMPLIES"):
+            self.advance()
+            right = self.parse_implies()  # right-associative
+            return Implies(left, right)
+        return left
+
+    def parse_or(self) -> Formula:
+        operands = [self.parse_and()]
+        while self.at("OR"):
+            self.advance()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(operands)
+
+    def parse_and(self) -> Formula:
+        operands = [self.parse_unary()]
+        while self.at("AND"):
+            self.advance()
+            operands.append(self.parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(operands)
+
+    def parse_unary(self) -> Formula:
+        if self.at("NOT"):
+            self.advance()
+            return Not(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self.parse_formula()
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "IDENT":
+            return self.parse_atom_or_truth()
+        raise ParseError(
+            f"expected a formula, found {token.value!r}", self.text, token.position
+        )
+
+    def parse_atom_or_truth(self) -> Formula:
+        name_token = self.expect("IDENT")
+        name = name_token.value
+        if not self.at("LPAREN"):
+            if name == "T":
+                return TRUE
+            if name == "F":
+                return FALSE
+            return Atom(PredicateConstant(name))
+        if name in ("T", "F"):
+            raise ParseError(
+                f"{name} is a truth value, not a predicate",
+                self.text,
+                name_token.position,
+            )
+        self.advance()  # consume '('
+        args = [self.parse_constant()]
+        while self.at("COMMA"):
+            self.advance()
+            args.append(self.parse_constant())
+        self.expect("RPAREN")
+        predicate = Predicate(name, len(args))
+        return Atom(GroundAtom(predicate, tuple(args)))
+
+    def parse_constant(self) -> Constant:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        if token.kind in ("IDENT", "NUMBER"):
+            self.advance()
+            return Constant(token.value)
+        if token.kind == "STRING":
+            self.advance()
+            return Constant(token.value[1:-1])
+        raise ParseError(
+            f"expected a constant, found {token.value!r}", self.text, token.position
+        )
+
+    def finish(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise ParseError(
+                f"trailing input {token.value!r}", self.text, token.position
+            )
+
+
+def parse(text: str) -> Formula:
+    """Parse *text* into a :class:`Formula`.
+
+    >>> parse("Orders(700,32,9) & !InStock(32,1)")  # doctest: +ELLIPSIS
+    <Formula Orders(700,32,9) & !InStock(32,1)>
+    """
+    parser = _Parser(text)
+    try:
+        formula = parser.parse_formula()
+    except RecursionError:
+        raise ParseError(
+            "formula too deeply nested for the recursive-descent parser",
+            text,
+            0,
+        ) from None
+    parser.finish()
+    return formula
+
+
+def parse_atom(text: str) -> GroundAtom:
+    """Parse a single ground atomic formula (arity >= 1)."""
+    formula = parse(text)
+    if isinstance(formula, Atom) and isinstance(formula.atom, GroundAtom):
+        return formula.atom
+    raise ParseError(f"expected a ground atomic formula, got {text!r}", text, 0)

@@ -1,0 +1,102 @@
+"""Pretty-printer for formulas.
+
+Produces the concrete syntax accepted by :mod:`repro.logic.parser`, so
+``parse(to_text(f)) == f`` for every formula ``f`` (round-trip property,
+tested with hypothesis).  Output uses the ASCII connectives::
+
+    !   negation          &   conjunction      |   disjunction
+    ->  implication       <-> biconditional    T / F truth values
+
+Parentheses are inserted only where precedence requires them, with
+precedence (tightest first): ``!``, ``&``, ``|``, ``->``, ``<->``.
+``->`` is printed right-associatively, matching the parser.
+"""
+
+from __future__ import annotations
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+
+# Precedence levels: higher binds tighter.
+_PREC_IFF = 1
+_PREC_IMPLIES = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_NOT = 5
+_PREC_ATOM = 6
+
+
+def _precedence(formula: Formula) -> int:
+    if isinstance(formula, (Top, Bottom, Atom)):
+        return _PREC_ATOM
+    if isinstance(formula, Not):
+        return _PREC_NOT
+    if isinstance(formula, And):
+        return _PREC_AND
+    if isinstance(formula, Or):
+        return _PREC_OR
+    if isinstance(formula, Implies):
+        return _PREC_IMPLIES
+    if isinstance(formula, Iff):
+        return _PREC_IFF
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def to_text(formula: Formula) -> str:
+    """Render *formula* as parseable concrete syntax."""
+    return _render(formula, 0)
+
+
+def _wrap(text: str, inner: int, outer: int) -> str:
+    return f"({text})" if inner < outer else text
+
+
+def _render(formula: Formula, outer: int) -> str:
+    prec = _precedence(formula)
+    if isinstance(formula, Top):
+        return "T"
+    if isinstance(formula, Bottom):
+        return "F"
+    if isinstance(formula, Atom):
+        return str(formula.atom)
+    if isinstance(formula, Not):
+        return _wrap("!" + _render(formula.operand, _PREC_NOT), prec, outer)
+    if isinstance(formula, And):
+        body = " & ".join(_render(op, _PREC_AND + 1) for op in formula.operands)
+        return _wrap(body, prec, outer)
+    if isinstance(formula, Or):
+        body = " | ".join(_render(op, _PREC_OR + 1) for op in formula.operands)
+        return _wrap(body, prec, outer)
+    if isinstance(formula, Implies):
+        # Right-associative: antecedent needs one level more.
+        left = _render(formula.antecedent, _PREC_IMPLIES + 1)
+        right = _render(formula.consequent, _PREC_IMPLIES)
+        return _wrap(f"{left} -> {right}", prec, outer)
+    if isinstance(formula, Iff):
+        left = _render(formula.left, _PREC_IFF + 1)
+        right = _render(formula.right, _PREC_IFF + 1)
+        return _wrap(f"{left} <-> {right}", prec, outer)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def to_unicode(formula: Formula) -> str:
+    """Render with the paper's mathematical connectives (display only)."""
+    text = to_text(formula)
+    for ascii_op, uni_op in (
+        ("<->", " ↔ "),
+        ("->", " → "),
+        ("&", " ∧ "),
+        ("|", " ∨ "),
+        ("!", "¬"),
+    ):
+        text = text.replace(ascii_op, uni_op)
+    return " ".join(text.split())

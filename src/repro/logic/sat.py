@@ -1,0 +1,269 @@
+"""A DPLL SAT solver over the library's clause form.
+
+Extended relational theories can have exponentially many alternative worlds,
+and consistency / entailment questions about them reduce to SAT over the
+ground atoms.  This solver is a clean, dependency-free DPLL with:
+
+* unit propagation via counter-based clause watching,
+* the pure-literal rule (optional; off during model enumeration, where fixing
+  pure literals would hide models),
+* a most-frequent-literal branching heuristic,
+* an assumption interface used by the entailment procedures, and
+* iterative (non-recursive) search with an explicit trail, so deep theories
+  cannot blow the Python stack.
+
+Atoms are interned to dense integer variables internally; the public API
+speaks atoms and :class:`~repro.logic.valuation.Valuation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logic.cnf import Clause, Literal
+from repro.logic.terms import AtomLike
+from repro.logic.valuation import Valuation
+
+_UNASSIGNED = -1
+_FALSE = 0
+_TRUE = 1
+
+
+class _Instance:
+    """Interned clause database: atoms mapped to dense variable ids."""
+
+    def __init__(self, clauses: Sequence[Clause]):
+        self.atom_of: List[AtomLike] = []
+        self.var_of: Dict[AtomLike, int] = {}
+        # Deterministic interning order: stable runs, reproducible models.
+        for c in clauses:
+            for atom_, _ in sorted(c, key=lambda lv: (str(lv[0]), lv[1])):
+                if atom_ not in self.var_of:
+                    self.var_of[atom_] = len(self.atom_of)
+                    self.atom_of.append(atom_)
+        # clause -> list of int literals; literal encoding: var<<1 | polarity
+        self.clauses: List[List[int]] = []
+        self.contains_empty = False
+        for c in clauses:
+            if not c:
+                self.contains_empty = True
+                continue
+            encoded = sorted(
+                {self.var_of[a] << 1 | (1 if p else 0) for a, p in c}
+            )
+            self.clauses.append(encoded)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.atom_of)
+
+
+def _lit_var(lit: int) -> int:
+    return lit >> 1
+
+
+def _lit_sign(lit: int) -> int:
+    return lit & 1
+
+
+class Solver:
+    """DPLL solver bound to one clause set; reusable across solve() calls."""
+
+    def __init__(self, clauses: Iterable[Clause]):
+        self._instance = _Instance(tuple(clauses))
+
+    @property
+    def atoms(self) -> Tuple[AtomLike, ...]:
+        return tuple(self._instance.atom_of)
+
+    def solve(
+        self,
+        assumptions: Sequence[Literal] = (),
+        *,
+        use_pure_literals: bool = True,
+    ) -> Optional[Valuation]:
+        """Find a model extending *assumptions*, or None if unsatisfiable.
+
+        The returned valuation is total over the atoms of the clause set
+        (unconstrained atoms default to False, the closed-world-friendly
+        choice that also makes runs deterministic).
+        """
+        instance = self._instance
+        if instance.contains_empty:
+            return None
+        assignment = [_UNASSIGNED] * instance.num_vars
+        trail: List[int] = []
+
+        for atom_, polarity in assumptions:
+            var = instance.var_of.get(atom_)
+            if var is None:
+                # Assumption over an atom absent from the clauses: it cannot
+                # conflict with anything; we honour it in the output below.
+                continue
+            want = _TRUE if polarity else _FALSE
+            if assignment[var] == _UNASSIGNED:
+                assignment[var] = want
+                trail.append(var)
+            elif assignment[var] != want:
+                return None
+
+        model = self._search(assignment, use_pure_literals)
+        if model is None:
+            return None
+        mapping: Dict[AtomLike, bool] = {
+            instance.atom_of[v]: (model[v] == _TRUE)
+            for v in range(instance.num_vars)
+        }
+        for atom_, polarity in assumptions:
+            if atom_ not in mapping:
+                mapping[atom_] = polarity
+            elif mapping[atom_] != polarity:
+                return None
+        return Valuation(mapping)
+
+    # -- core search ---------------------------------------------------------
+
+    def _search(
+        self, assignment: List[int], use_pure_literals: bool
+    ) -> Optional[List[int]]:
+        instance = self._instance
+        clauses = instance.clauses
+        # Occurrence lists: literal -> clause indexes.
+        occurrences: Dict[int, List[int]] = {}
+        for idx, encoded in enumerate(clauses):
+            for lit in encoded:
+                occurrences.setdefault(lit, []).append(idx)
+
+        # Decision stack: (var, first_sign, tried_second_value, trail_mark)
+        decisions: List[Tuple[int, int, bool, int]] = []
+        trail: List[int] = [
+            v for v in range(instance.num_vars) if assignment[v] != _UNASSIGNED
+        ]
+        propagate_from = 0
+
+        def clause_state(encoded: List[int]) -> Tuple[bool, Optional[int]]:
+            """(satisfied?, sole unassigned literal if exactly one)."""
+            unassigned: Optional[int] = None
+            count = 0
+            for lit in encoded:
+                value = assignment[_lit_var(lit)]
+                if value == _UNASSIGNED:
+                    unassigned = lit
+                    count += 1
+                elif value == _lit_sign(lit):
+                    return True, None
+            if count == 1:
+                return False, unassigned
+            return False, None if count else -1  # -1 marks a conflict
+
+        def propagate() -> bool:
+            """Unit-propagate until fixpoint; False on conflict."""
+            nonlocal propagate_from
+            while propagate_from < len(trail):
+                # Scan all clauses touched by newly-assigned vars.
+                var = trail[propagate_from]
+                propagate_from += 1
+                falsified_lit = var << 1 | (1 - assignment[var])
+                for idx in occurrences.get(falsified_lit, ()):
+                    satisfied, unit = clause_state(clauses[idx])
+                    if satisfied:
+                        continue
+                    if unit == -1:
+                        return False
+                    if unit is not None:
+                        uvar, usign = _lit_var(unit), _lit_sign(unit)
+                        if assignment[uvar] == _UNASSIGNED:
+                            assignment[uvar] = usign
+                            trail.append(uvar)
+            return True
+
+        def initial_units() -> bool:
+            for encoded in clauses:
+                satisfied, unit = clause_state(encoded)
+                if satisfied:
+                    continue
+                if unit == -1:
+                    return False
+                if unit is not None:
+                    uvar, usign = _lit_var(unit), _lit_sign(unit)
+                    if assignment[uvar] == _UNASSIGNED:
+                        assignment[uvar] = usign
+                        trail.append(uvar)
+            return True
+
+        def assign_pure_literals() -> None:
+            counts: Dict[int, int] = {}
+            for encoded in clauses:
+                satisfied, _ = clause_state(encoded)
+                if satisfied:
+                    continue
+                for lit in encoded:
+                    if assignment[_lit_var(lit)] == _UNASSIGNED:
+                        counts[lit] = counts.get(lit, 0) + 1
+            for lit in counts:
+                var, sign = _lit_var(lit), _lit_sign(lit)
+                if assignment[var] == _UNASSIGNED and (lit ^ 1) not in counts:
+                    assignment[var] = sign
+                    trail.append(var)
+
+        def pick_branch_var() -> Optional[int]:
+            counts: Dict[int, int] = {}
+            for encoded in clauses:
+                satisfied, _ = clause_state(encoded)
+                if satisfied:
+                    continue
+                for lit in encoded:
+                    if assignment[_lit_var(lit)] == _UNASSIGNED:
+                        counts[lit] = counts.get(lit, 0) + 1
+            if not counts:
+                return None
+            best = max(counts, key=lambda lit: (counts[lit], -lit))
+            return best
+
+        if not initial_units():
+            return None
+
+        while True:
+            if not propagate():
+                # Backtrack.
+                while decisions:
+                    var, first_sign, tried_both, mark = decisions.pop()
+                    for undone in trail[mark:]:
+                        assignment[undone] = _UNASSIGNED
+                    del trail[mark:]
+                    propagate_from = mark
+                    if not tried_both:
+                        assignment[var] = 1 - first_sign  # second branch
+                        trail.append(var)
+                        decisions.append((var, first_sign, True, mark))
+                        break
+                else:
+                    return None
+                continue
+
+            if use_pure_literals and not decisions:
+                assign_pure_literals()
+                if propagate_from < len(trail):
+                    continue
+
+            branch_lit = pick_branch_var()
+            if branch_lit is None:
+                # All clauses satisfied; fill unconstrained vars with False.
+                return [
+                    v if v != _UNASSIGNED else _FALSE for v in assignment
+                ]
+            var = _lit_var(branch_lit)
+            sign = _lit_sign(branch_lit)
+            mark = len(trail)
+            assignment[var] = sign
+            trail.append(var)
+            decisions.append((var, sign, False, mark))
+
+
+def solve(clauses: Iterable[Clause], assumptions: Sequence[Literal] = ()) -> Optional[Valuation]:
+    """One-shot convenience wrapper around :class:`Solver`."""
+    return Solver(clauses).solve(assumptions)
+
+
+def is_satisfiable(clauses: Iterable[Clause]) -> bool:
+    return solve(clauses) is not None

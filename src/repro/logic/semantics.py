@@ -1,0 +1,82 @@
+"""Evaluation of ground formulas under a valuation.
+
+This is the propositional satisfaction relation used everywhere: to test a
+selection clause ``phi`` against a world, to define the model-level update
+semantics, and as the brute-force oracle behind the SAT-based procedures.
+
+Atoms absent from the valuation are handled according to *policy*:
+
+* ``closed_world`` (default): missing atoms are False.  This matches the
+  completion axioms of Section 2 — any ground atomic formula not represented
+  in the theory is false in every model.
+* ``strict``: missing atoms raise, useful to catch bugs where an atom
+  universe was computed incorrectly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.terms import AtomLike
+
+
+def evaluate(
+    formula: Formula,
+    valuation: Mapping[AtomLike, bool],
+    *,
+    closed_world: bool = True,
+) -> bool:
+    """Truth value of *formula* under *valuation*.
+
+    With ``closed_world=True`` (the default) atoms missing from the valuation
+    evaluate to False; otherwise a missing atom raises :class:`ReproError`.
+    """
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Atom):
+        atom_ = formula.atom
+        if atom_ in valuation:
+            return valuation[atom_]
+        if closed_world:
+            return False
+        raise ReproError(f"atom {atom_} not assigned by valuation")
+    if isinstance(formula, Not):
+        return not evaluate(formula.operand, valuation, closed_world=closed_world)
+    if isinstance(formula, And):
+        return all(
+            evaluate(op, valuation, closed_world=closed_world)
+            for op in formula.operands
+        )
+    if isinstance(formula, Or):
+        return any(
+            evaluate(op, valuation, closed_world=closed_world)
+            for op in formula.operands
+        )
+    if isinstance(formula, Implies):
+        if not evaluate(formula.antecedent, valuation, closed_world=closed_world):
+            return True
+        return evaluate(formula.consequent, valuation, closed_world=closed_world)
+    if isinstance(formula, Iff):
+        return evaluate(
+            formula.left, valuation, closed_world=closed_world
+        ) == evaluate(formula.right, valuation, closed_world=closed_world)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def satisfies(valuation: Mapping[AtomLike, bool], formula: Formula) -> bool:
+    """``valuation |= formula`` under the closed-world policy."""
+    return evaluate(formula, valuation)

@@ -1,0 +1,194 @@
+"""Heuristic formula minimization.
+
+Section 4 of the paper: extended relational theories "grow steadily longer
+under the update algorithms", and "a heuristic algorithm for simplification
+will be a vital part of any implementation ... at the core of the
+implementation coded by the author".  This module is the formula-level half
+of that machinery (the theory-level half, which may also merge wffs and
+eliminate spent predicate constants, lives in
+:mod:`repro.core.simplification`).
+
+Everything here preserves logical equivalence, which by the closing remark of
+Section 3.4 preserves the alternative-world set of any theory: world sets
+depend only on the logical content of the non-axiomatic section.
+
+Rules applied to fixpoint (cheap, syntactic):
+
+* constant folding (T/F absorption, double negation);
+* idempotence  ``a & a -> a``,  ``a | a -> a``;
+* complementation  ``a & !a -> F``,  ``a | !a -> T``;
+* absorption  ``a & (a | b) -> a``,  ``a | (a & b) -> a``;
+* literal-based local subsumption inside one connective;
+* optional *semantic* minimization for small formulas: replace the formula by
+  its subsumption-reduced DNF/CNF if strictly smaller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.logic.cnf import cnf_to_formula, to_cnf
+from repro.logic.dnf import to_dnf
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    conjoin,
+    disjoin,
+    literal,
+)
+from repro.logic.transform import fold_constants, is_literal, literal_of
+
+#: Semantic minimization (normal-form rebuild) only below this atom count.
+_SEMANTIC_ATOM_LIMIT = 10
+
+
+def simplify(formula: Formula, *, semantic: bool = True) -> Formula:
+    """Equivalence-preserving minimization of *formula*.
+
+    With ``semantic=True`` (default) small formulas are additionally rebuilt
+    from their subsumption-reduced CNF/DNF when that is strictly smaller —
+    this is what collapses the paper's worked-example theory
+    ``{p_a, p_a | b, ..., (b & p_a) -> (c | a), ...}`` down to readable form.
+    """
+    current = formula
+    for _ in range(20):  # fixpoint with a hard cap; rules strictly shrink
+        rewritten = _syntactic_pass(current)
+        if rewritten == current:
+            break
+        current = rewritten
+    if semantic and len(current.atoms()) <= _SEMANTIC_ATOM_LIMIT:
+        semantic_form = _semantic_minimize(current)
+        if semantic_form is not None and semantic_form.size() < current.size():
+            current = semantic_form
+    return current
+
+
+def _syntactic_pass(formula: Formula) -> Formula:
+    formula = fold_constants(formula)
+    if isinstance(formula, (Top, Bottom, Atom)):
+        return formula
+    if isinstance(formula, Not):
+        inner = _syntactic_pass(formula.operand)
+        if isinstance(inner, Not):
+            return inner.operand
+        if isinstance(inner, Top):
+            return FALSE
+        if isinstance(inner, Bottom):
+            return TRUE
+        return Not(inner)
+    if isinstance(formula, And):
+        return _simplify_nary(formula, is_and=True)
+    if isinstance(formula, Or):
+        return _simplify_nary(formula, is_and=False)
+    if isinstance(formula, Implies):
+        antecedent = _syntactic_pass(formula.antecedent)
+        consequent = _syntactic_pass(formula.consequent)
+        if antecedent == consequent:
+            return TRUE
+        if _complementary(antecedent, consequent):
+            return fold_constants(Not(antecedent))
+        return fold_constants(Implies(antecedent, consequent))
+    if isinstance(formula, Iff):
+        left = _syntactic_pass(formula.left)
+        right = _syntactic_pass(formula.right)
+        if left == right:
+            return TRUE
+        if _complementary(left, right):
+            return FALSE
+        return fold_constants(Iff(left, right))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _complementary(left: Formula, right: Formula) -> bool:
+    return (isinstance(right, Not) and right.operand == left) or (
+        isinstance(left, Not) and left.operand == right
+    )
+
+
+def _simplify_nary(formula: Formula, *, is_and: bool) -> Formula:
+    operands: List[Formula] = []
+    seen = set()
+    for op in formula.operands:
+        child = _syntactic_pass(op)
+        if child in seen:  # idempotence
+            continue
+        seen.add(child)
+        operands.append(child)
+
+    # Complementation: a & !a -> F, a | !a -> T.
+    operand_set = set(operands)
+    for op in operands:
+        if isinstance(op, Not) and op.operand in operand_set:
+            return FALSE if is_and else TRUE
+
+    # Absorption against literal operands: in an And, a literal L kills any
+    # Or-operand containing L; in an Or, kills any And-operand containing L.
+    lits = {literal_of(op) for op in operands if is_literal(op)}
+    if lits:
+        absorbing_type = Or if is_and else And
+        kept: List[Formula] = []
+        for op in operands:
+            if isinstance(op, absorbing_type):
+                inner_lits = {
+                    literal_of(child)
+                    for child in op.operands
+                    if is_literal(child)
+                }
+                if inner_lits & lits:
+                    continue  # absorbed
+                # Unit simplification: drop falsified literals inside.
+                reduced = _drop_contrary_literals(op, lits, is_and)
+                kept.append(reduced)
+            else:
+                kept.append(op)
+        operands = kept
+
+    folded = conjoin(operands) if is_and else disjoin(operands)
+    return fold_constants(folded)
+
+
+def _drop_contrary_literals(inner, outer_lits, outer_is_and: bool) -> Formula:
+    """Inside ``a & (!a | b)`` reduce the Or to ``b`` (unit resolution)."""
+    contrary = {(atom_, not pol) for atom_, pol in outer_lits}
+    kept = [
+        child
+        for child in inner.operands
+        if not (is_literal(child) and literal_of(child) in contrary)
+    ]
+    if len(kept) == len(inner.operands):
+        return inner
+    if outer_is_and:
+        return fold_constants(disjoin(kept))
+    return fold_constants(conjoin(kept))
+
+
+def _semantic_minimize(formula: Formula) -> Optional[Formula]:
+    """Rebuild from reduced DNF and CNF; return the smaller, or None."""
+    candidates: List[Formula] = []
+    dnf = to_dnf(formula)
+    if not dnf:
+        return FALSE
+    if dnf == (frozenset(),):
+        return TRUE
+    terms = []
+    for term in dnf:
+        ordered = sorted(term, key=lambda lv: (str(lv[0]), lv[1]))
+        terms.append(conjoin([literal(a, p) for a, p in ordered]))
+    candidates.append(disjoin(terms))
+    candidates.append(cnf_to_formula(to_cnf(formula)))
+    best = min(candidates, key=lambda f: f.size())
+    return best
+
+
+def total_size(formulas) -> int:
+    """Sum of node counts over a collection of formulas (theory length)."""
+    return sum(f.size() for f in formulas)

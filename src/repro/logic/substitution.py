@@ -1,0 +1,121 @@
+"""Ground-atom substitutions — the paper's sigma notation.
+
+Step 2 of algorithm GUA performs "the usual substitution notation, with the
+semantic difference that one ground atomic formula is to be substituted for
+another": every occurrence of a ground atomic formula ``f`` in a wff is
+replaced by a predicate constant ``p_f``.  :class:`GroundSubstitution` is
+that object.  It maps atoms to atoms (typically :class:`GroundAtom` to
+:class:`PredicateConstant`, but any atom-to-atom mapping is allowed so that
+inverse substitutions used in the proofs can also be expressed).
+
+Application is purely syntactic, which is exactly what the algorithm needs —
+no logical reasoning happens here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import ReproError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.terms import AtomLike, is_atom
+
+
+class GroundSubstitution(Mapping[AtomLike, AtomLike]):
+    """An immutable atom-to-atom substitution ``{f1 -> p1, f2 -> p2, ...}``."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[AtomLike, AtomLike] = ()):
+        pairs: Dict[AtomLike, AtomLike] = dict(mapping)
+        for source, target in pairs.items():
+            if not is_atom(source) or not is_atom(target):
+                raise ReproError(
+                    f"substitution entries must map atoms to atoms, "
+                    f"got {source!r} -> {target!r}"
+                )
+        object.__setattr__(self, "_mapping", pairs)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("GroundSubstitution is immutable")
+
+    # -- Mapping protocol ----------------------------------------------------
+
+    def __getitem__(self, atom_: AtomLike) -> AtomLike:
+        return self._mapping[atom_]
+
+    def __iter__(self) -> Iterator[AtomLike]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, formula: Formula) -> Formula:
+        """Return ``(formula)sigma``: every source atom replaced by its target.
+
+        Nodes without any source atom are returned as-is (shared, not
+        copied), so applying a substitution to a large theory only rebuilds
+        the spine above actual occurrences.
+        """
+        if not self._mapping:
+            return formula
+        if not (formula.atoms() & self._mapping.keys()):
+            return formula
+        return self._rewrite(formula)
+
+    def _rewrite(self, formula: Formula) -> Formula:
+        if isinstance(formula, (Top, Bottom)):
+            return formula
+        if isinstance(formula, Atom):
+            replacement = self._mapping.get(formula.atom)
+            return formula if replacement is None else Atom(replacement)
+        if isinstance(formula, Not):
+            return Not(self.apply(formula.operand))
+        if isinstance(formula, And):
+            return And(tuple(self.apply(op) for op in formula.operands))
+        if isinstance(formula, Or):
+            return Or(tuple(self.apply(op) for op in formula.operands))
+        if isinstance(formula, Implies):
+            return Implies(
+                self.apply(formula.antecedent), self.apply(formula.consequent)
+            )
+        if isinstance(formula, Iff):
+            return Iff(self.apply(formula.left), self.apply(formula.right))
+        raise TypeError(f"unknown formula node {formula!r}")
+
+    # -- algebra ---------------------------------------------------------------
+
+    def inverse(self) -> "GroundSubstitution":
+        """The reverse mapping; requires the substitution to be injective."""
+        inverted: Dict[AtomLike, AtomLike] = {}
+        for source, target in self._mapping.items():
+            if target in inverted:
+                raise ReproError(
+                    f"substitution is not injective: {target} has two sources"
+                )
+            inverted[target] = source
+        return GroundSubstitution(inverted)
+
+    def items_sorted(self) -> Tuple[Tuple[AtomLike, AtomLike], ...]:
+        return tuple(sorted(self._mapping.items(), key=lambda kv: str(kv[0])))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{s} -> {t}" for s, t in self.items_sorted())
+        return f"GroundSubstitution({body})"
+
+
+def rename_atoms(formula: Formula, mapping: Mapping[AtomLike, AtomLike]) -> Formula:
+    """One-shot functional form of :meth:`GroundSubstitution.apply`."""
+    return GroundSubstitution(mapping).apply(formula)

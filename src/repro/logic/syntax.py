@@ -1,0 +1,293 @@
+"""Formula AST for ground well-formed formulas over L.
+
+Non-axiomatic sections of extended relational theories contain arbitrary
+*ground* wffs: no variables, no equality (Section 2, item 3).  The AST here
+therefore covers the propositional fragment over ground atoms and predicate
+constants, plus the truth values T and F, with connectives
+``not, and, or, ->, <->`` (Section 2, item 5).
+
+Formulas are immutable and hashable.  Structural equality is syntactic —
+``a | b`` is not equal to ``b | a`` — because LDML semantics are deliberately
+syntax-sensitive ("one should not necessarily expect two updates with
+logically equivalent w to produce the same results", Section 3.2).  Logical
+equivalence lives in :mod:`repro.logic.entailment`.
+
+Python operator overloads build formulas fluently::
+
+    f = Atom(a) & ~Atom(b) | TRUE
+
+Each node caches its atom set, so ``formula.atoms()`` is O(1) after the first
+call on a node; construction stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.logic.terms import AtomLike, GroundAtom, PredicateConstant, is_atom
+
+
+class Formula:
+    """Abstract base of all formula nodes.
+
+    Subclasses are: :class:`Top`, :class:`Bottom`, :class:`Atom`,
+    :class:`Not`, :class:`And`, :class:`Or`, :class:`Implies`, :class:`Iff`.
+    """
+
+    __slots__ = ("_atoms", "_hash")
+
+    # -- construction sugar -------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, _as_formula(other)))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, _as_formula(other)))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Implies(self, _as_formula(other))
+
+    def iff(self, other: "Formula") -> "Formula":
+        return Iff(self, _as_formula(other))
+
+    # -- structure ----------------------------------------------------------
+
+    def atoms(self) -> FrozenSet[AtomLike]:
+        """All ground atoms and predicate constants occurring in the formula."""
+        cached = getattr(self, "_atoms", None)
+        if cached is None:
+            cached = frozenset(self._collect_atoms())
+            object.__setattr__(self, "_atoms", cached)
+        return cached
+
+    def ground_atoms(self) -> FrozenSet[GroundAtom]:
+        """Only the ground atoms of arity >= 1 (the externally visible part)."""
+        return frozenset(a for a in self.atoms() if isinstance(a, GroundAtom))
+
+    def predicate_constants(self) -> FrozenSet[PredicateConstant]:
+        """Only the predicate constants (the invisible part)."""
+        return frozenset(
+            a for a in self.atoms() if isinstance(a, PredicateConstant)
+        )
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Immediate subformulas (empty for leaves)."""
+        return ()
+
+    def walk(self) -> Iterator["Formula"]:
+        """Pre-order traversal of the formula tree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def size(self) -> int:
+        """Number of nodes in the formula tree (a crude length measure)."""
+        return sum(1 for _ in self.walk())
+
+    def _collect_atoms(self) -> Iterator[AtomLike]:
+        for child in self.children():
+            yield from child.atoms()
+
+    # -- identity -----------------------------------------------------------
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = hash((type(self).__name__, self._key()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        from repro.logic.printer import to_text
+
+        return f"<Formula {to_text(self)}>"
+
+    def __str__(self) -> str:
+        from repro.logic.printer import to_text
+
+        return to_text(self)
+
+
+def _as_formula(value) -> Formula:
+    if isinstance(value, Formula):
+        return value
+    if is_atom(value):
+        return Atom(value)
+    raise ReproError(f"cannot interpret {value!r} as a formula")
+
+
+class Top(Formula):
+    """The truth value T."""
+
+    __slots__ = ()
+
+    def _key(self) -> tuple:
+        return ()
+
+
+class Bottom(Formula):
+    """The truth value F."""
+
+    __slots__ = ()
+
+    def _key(self) -> tuple:
+        return ()
+
+
+#: Canonical instances; Top()/Bottom() compare equal to these anyway.
+TRUE = Top()
+FALSE = Bottom()
+
+
+class Atom(Formula):
+    """A propositional leaf wrapping a ground atom or predicate constant."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: AtomLike):
+        if not is_atom(atom):
+            raise ReproError(f"Atom() requires a ground atom, got {atom!r}")
+        object.__setattr__(self, "atom", atom)
+
+    def _key(self) -> tuple:
+        return (self.atom,)
+
+    def _collect_atoms(self) -> Iterator[AtomLike]:
+        yield self.atom
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula):
+        object.__setattr__(self, "operand", _as_formula(operand))
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def _key(self) -> tuple:
+        return (self.operand,)
+
+
+class _Nary(Formula):
+    """Shared implementation of the n-ary connectives And / Or.
+
+    Operands are kept in the order written (syntax matters to LDML), but
+    construction flattens nested same-type nodes so ``(a & b) & c`` and
+    ``a & (b & c)`` both become ``And(a, b, c)`` — an associativity-only
+    normalization that matches how the paper writes conjunctions.
+    """
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[Formula]):
+        flat = []
+        for op in operands:
+            op = _as_formula(op)
+            if type(op) is type(self):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        if len(flat) < 2:
+            raise ReproError(
+                f"{type(self).__name__} needs at least 2 operands, got {len(flat)}"
+            )
+        object.__setattr__(self, "operands", tuple(flat))
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+    def _key(self) -> tuple:
+        return self.operands
+
+
+class And(_Nary):
+    """Conjunction (n-ary, order-preserving)."""
+
+    __slots__ = ()
+
+
+class Or(_Nary):
+    """Disjunction (n-ary, order-preserving)."""
+
+    __slots__ = ()
+
+
+class Implies(Formula):
+    """Material implication ``antecedent -> consequent``."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Formula, consequent: Formula):
+        object.__setattr__(self, "antecedent", _as_formula(antecedent))
+        object.__setattr__(self, "consequent", _as_formula(consequent))
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.antecedent, self.consequent)
+
+    def _key(self) -> tuple:
+        return (self.antecedent, self.consequent)
+
+
+class Iff(Formula):
+    """Biconditional ``left <-> right`` (used by GUA Step 4)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        object.__setattr__(self, "left", _as_formula(left))
+        object.__setattr__(self, "right", _as_formula(right))
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+def conjoin(formulas: Sequence[Formula]) -> Formula:
+    """And together a sequence; empty -> TRUE, singleton -> itself."""
+    formulas = [_as_formula(f) for f in formulas]
+    if not formulas:
+        return TRUE
+    if len(formulas) == 1:
+        return formulas[0]
+    return And(formulas)
+
+
+def disjoin(formulas: Sequence[Formula]) -> Formula:
+    """Or together a sequence; empty -> FALSE, singleton -> itself."""
+    formulas = [_as_formula(f) for f in formulas]
+    if not formulas:
+        return FALSE
+    if len(formulas) == 1:
+        return formulas[0]
+    return Or(formulas)
+
+
+def atom(a: AtomLike) -> Atom:
+    """Tiny alias for :class:`Atom`, handy in tests and examples."""
+    return Atom(a)
+
+
+def literal(a: AtomLike, positive: bool) -> Formula:
+    """``a`` if positive else ``~a``."""
+    node = Atom(a)
+    return node if positive else Not(node)

@@ -1,0 +1,217 @@
+"""Structural formula transformations: NNF, constant folding, polarity.
+
+These are syntax-level rewrites shared by the clause-form converters, the
+SAT front end, and the simplification heuristics.  All of them preserve
+logical equivalence (and therefore the alternative worlds of any theory whose
+non-axiomatic section they are applied to — see the closing remark of
+Section 3.4: world sets depend only on the logical content of the
+non-axiomatic section, not its syntax).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    conjoin,
+    disjoin,
+)
+from repro.logic.terms import AtomLike
+
+
+def eliminate_conditionals(formula: Formula) -> Formula:
+    """Rewrite ``->`` and ``<->`` into and/or/not."""
+    if isinstance(formula, (Top, Bottom, Atom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(eliminate_conditionals(formula.operand))
+    if isinstance(formula, And):
+        return And(tuple(eliminate_conditionals(op) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(eliminate_conditionals(op) for op in formula.operands))
+    if isinstance(formula, Implies):
+        antecedent = eliminate_conditionals(formula.antecedent)
+        consequent = eliminate_conditionals(formula.consequent)
+        return Or((Not(antecedent), consequent))
+    if isinstance(formula, Iff):
+        left = eliminate_conditionals(formula.left)
+        right = eliminate_conditionals(formula.right)
+        return Or((And((left, right)), And((Not(left), Not(right)))))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed down to atoms, no ->/<->."""
+    return _nnf(eliminate_conditionals(formula), positive=True)
+
+
+def _nnf(formula: Formula, positive: bool) -> Formula:
+    if isinstance(formula, Top):
+        return TRUE if positive else FALSE
+    if isinstance(formula, Bottom):
+        return FALSE if positive else TRUE
+    if isinstance(formula, Atom):
+        return formula if positive else Not(formula)
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not positive)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(op, positive) for op in formula.operands)
+        return And(parts) if positive else Or(parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(op, positive) for op in formula.operands)
+        return Or(parts) if positive else And(parts)
+    raise TypeError(f"conditionals must be eliminated before NNF: {formula!r}")
+
+
+def fold_constants(formula: Formula) -> Formula:
+    """Simplify away T/F sub-occurrences: ``x & T -> x``, ``x | T -> T``, etc.
+
+    This is a *weak* simplifier (no logical reasoning beyond the unit laws);
+    the heuristic minimizer in :mod:`repro.logic.simplify` builds on it.
+    """
+    if isinstance(formula, (Top, Bottom, Atom)):
+        return formula
+    if isinstance(formula, Not):
+        inner = fold_constants(formula.operand)
+        if isinstance(inner, Top):
+            return FALSE
+        if isinstance(inner, Bottom):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(formula, And):
+        kept = []
+        for op in formula.operands:
+            folded = fold_constants(op)
+            if isinstance(folded, Bottom):
+                return FALSE
+            if isinstance(folded, Top):
+                continue
+            kept.append(folded)
+        return conjoin(kept)
+    if isinstance(formula, Or):
+        kept = []
+        for op in formula.operands:
+            folded = fold_constants(op)
+            if isinstance(folded, Top):
+                return TRUE
+            if isinstance(folded, Bottom):
+                continue
+            kept.append(folded)
+        return disjoin(kept)
+    if isinstance(formula, Implies):
+        antecedent = fold_constants(formula.antecedent)
+        consequent = fold_constants(formula.consequent)
+        if isinstance(antecedent, Bottom) or isinstance(consequent, Top):
+            return TRUE
+        if isinstance(antecedent, Top):
+            return consequent
+        if isinstance(consequent, Bottom):
+            return fold_constants(Not(antecedent))
+        return Implies(antecedent, consequent)
+    if isinstance(formula, Iff):
+        left = fold_constants(formula.left)
+        right = fold_constants(formula.right)
+        if isinstance(left, Top):
+            return right
+        if isinstance(right, Top):
+            return left
+        if isinstance(left, Bottom):
+            return fold_constants(Not(right))
+        if isinstance(right, Bottom):
+            return fold_constants(Not(left))
+        return Iff(left, right)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def condition(formula: Formula, assignment: Dict[AtomLike, bool]) -> Formula:
+    """Restrict *formula* by fixing some atoms to constants, then fold.
+
+    ``condition(f, {a: True})`` is the cofactor f[a := T].  Used by the
+    simplifier and by Shannon-expansion style reasoning in tests.
+    """
+    substituted = _substitute_truth(formula, assignment)
+    return fold_constants(substituted)
+
+
+def _substitute_truth(formula: Formula, assignment: Dict[AtomLike, bool]) -> Formula:
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Atom):
+        if formula.atom in assignment:
+            return TRUE if assignment[formula.atom] else FALSE
+        return formula
+    if isinstance(formula, Not):
+        return Not(_substitute_truth(formula.operand, assignment))
+    if isinstance(formula, And):
+        return And(tuple(_substitute_truth(op, assignment) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(_substitute_truth(op, assignment) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(
+            _substitute_truth(formula.antecedent, assignment),
+            _substitute_truth(formula.consequent, assignment),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            _substitute_truth(formula.left, assignment),
+            _substitute_truth(formula.right, assignment),
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def polarities(formula: Formula) -> Dict[AtomLike, Set[bool]]:
+    """Map each atom to the set of polarities it occurs with in NNF.
+
+    ``{a: {True}}`` means *a* occurs only positively; pure-polarity atoms can
+    be fixed without losing satisfiability (pure literal rule).
+    """
+    result: Dict[AtomLike, Set[bool]] = {}
+    _collect_polarities(to_nnf(formula), True, result)
+    return result
+
+
+def _collect_polarities(
+    formula: Formula, positive: bool, result: Dict[AtomLike, Set[bool]]
+) -> None:
+    if isinstance(formula, Atom):
+        result.setdefault(formula.atom, set()).add(positive)
+        return
+    if isinstance(formula, Not):
+        _collect_polarities(formula.operand, not positive, result)
+        return
+    if isinstance(formula, (And, Or)):
+        for op in formula.operands:
+            _collect_polarities(op, positive, result)
+        return
+    if isinstance(formula, (Top, Bottom)):
+        return
+    raise TypeError(f"unexpected node in NNF: {formula!r}")
+
+
+def literal_of(formula: Formula) -> Tuple[AtomLike, bool]:
+    """Decompose a literal into (atom, polarity); raises on non-literals."""
+    if isinstance(formula, Atom):
+        return formula.atom, True
+    if isinstance(formula, Not) and isinstance(formula.operand, Atom):
+        return formula.operand.atom, False
+    raise TypeError(f"not a literal: {formula!r}")
+
+
+def is_literal(formula: Formula) -> bool:
+    """True iff *formula* is an atom or a negated atom."""
+    return isinstance(formula, Atom) or (
+        isinstance(formula, Not) and isinstance(formula.operand, Atom)
+    )

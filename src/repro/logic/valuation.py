@@ -1,0 +1,158 @@
+"""Truth valuations over atoms.
+
+A :class:`Valuation` assigns True/False to a finite set of atoms (ground
+atoms and/or predicate constants).  The paper uses valuations in three roles,
+all served by this one type:
+
+* a *model* of a theory restricted to its atom universe;
+* the valuation ``v`` over the atoms of an update body ``w`` in the
+  equivalence theorems (Section 3.4);
+* an *alternative world*, which is a valuation over ground atoms only
+  (see :mod:`repro.theory.worlds` for the world wrapper).
+
+Valuations are immutable; ``extended`` / ``restricted`` / ``overridden``
+return new valuations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from repro.errors import ReproError
+from repro.logic.terms import AtomLike, sort_atoms
+
+
+class Valuation(Mapping[AtomLike, bool]):
+    """An immutable mapping from atoms to truth values."""
+
+    __slots__ = ("_assignment", "_hash")
+
+    def __init__(self, assignment: Mapping[AtomLike, bool] = ()):
+        pairs: Dict[AtomLike, bool] = dict(assignment)
+        for atom_, value in pairs.items():
+            if not isinstance(value, bool):
+                raise ReproError(
+                    f"valuation values must be bool, got {value!r} for {atom_}"
+                )
+        object.__setattr__(self, "_assignment", pairs)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Valuation is immutable")
+
+    # -- Mapping protocol ----------------------------------------------------
+
+    def __getitem__(self, atom_: AtomLike) -> bool:
+        return self._assignment[atom_]
+
+    def __iter__(self) -> Iterator[AtomLike]:
+        return iter(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __contains__(self, atom_) -> bool:
+        return atom_ in self._assignment
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def of(cls, true: Iterable[AtomLike] = (), false: Iterable[AtomLike] = ()) -> "Valuation":
+        """Build from explicit true/false atom collections."""
+        assignment: Dict[AtomLike, bool] = {a: True for a in true}
+        for a in false:
+            if assignment.get(a, False):
+                raise ReproError(f"atom {a} listed as both true and false")
+            assignment[a] = False
+        return cls(assignment)
+
+    @classmethod
+    def all_over(cls, atoms: Iterable[AtomLike]) -> Iterator["Valuation"]:
+        """Enumerate every valuation over *atoms* (2^n of them), deterministically.
+
+        Used by the brute-force oracles in tests and by the equivalence
+        deciders on the (small) atom sets of update bodies.
+        """
+        ordered = sort_atoms(set(atoms))
+        n = len(ordered)
+        for mask in range(1 << n):
+            yield cls(
+                {ordered[i]: bool(mask >> i & 1) for i in range(n)}
+            )
+
+    # -- derivation ----------------------------------------------------------
+
+    def extended(self, other: Mapping[AtomLike, bool]) -> "Valuation":
+        """New valuation with *other*'s assignments added; conflicts are errors."""
+        merged = dict(self._assignment)
+        for atom_, value in other.items():
+            if atom_ in merged and merged[atom_] != value:
+                raise ReproError(f"conflicting assignment for {atom_}")
+            merged[atom_] = value
+        return Valuation(merged)
+
+    def overridden(self, other: Mapping[AtomLike, bool]) -> "Valuation":
+        """New valuation where *other*'s assignments win on conflicts."""
+        merged = dict(self._assignment)
+        merged.update(other)
+        return Valuation(merged)
+
+    def restricted(self, atoms: Iterable[AtomLike]) -> "Valuation":
+        """Projection onto the given atoms (missing atoms are dropped)."""
+        keep = set(atoms)
+        return Valuation(
+            {a: v for a, v in self._assignment.items() if a in keep}
+        )
+
+    def without(self, atoms: Iterable[AtomLike]) -> "Valuation":
+        """Projection dropping the given atoms."""
+        drop = set(atoms)
+        return Valuation(
+            {a: v for a, v in self._assignment.items() if a not in drop}
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    def true_atoms(self) -> FrozenSet[AtomLike]:
+        return frozenset(a for a, v in self._assignment.items() if v)
+
+    def false_atoms(self) -> FrozenSet[AtomLike]:
+        return frozenset(a for a, v in self._assignment.items() if not v)
+
+    def agrees_with(self, other: "Valuation", atoms: Iterable[AtomLike]) -> bool:
+        """True iff both valuations assign the same value to every given atom.
+
+        Atoms missing from either side are treated as False, matching the
+        closed-world reading used throughout the paper's proofs.
+        """
+        return all(
+            self._assignment.get(a, False) == other._assignment.get(a, False)
+            for a in atoms
+        )
+
+    def items_sorted(self) -> Tuple[Tuple[AtomLike, bool], ...]:
+        """Assignments in deterministic atom order."""
+        return tuple((a, self._assignment[a]) for a in sort_atoms(self._assignment))
+
+    # -- identity ------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Valuation):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash(frozenset(self._assignment.items()))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{a}={'T' if v else 'F'}" for a, v in self.items_sorted()
+        )
+        return f"Valuation({body})"
+
+
+EMPTY_VALUATION = Valuation()

@@ -1,0 +1,25 @@
+"""Query answering over incomplete information: certain/possible answers."""
+
+from repro.query.answers import Answer, ask, is_certain, is_possible, witness_world
+from repro.query.select import (
+    SelectedRow,
+    certain_tuples,
+    possible_tuples,
+    select,
+)
+from repro.query.open_queries import AnswerRow, OpenQuery, parse_open_query
+
+__all__ = [
+    "Answer",
+    "ask",
+    "is_certain",
+    "is_possible",
+    "witness_world",
+    "SelectedRow",
+    "certain_tuples",
+    "possible_tuples",
+    "select",
+    "AnswerRow",
+    "OpenQuery",
+    "parse_open_query",
+]

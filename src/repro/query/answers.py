@@ -1,0 +1,148 @@
+"""Certain and possible answers over an extended relational theory.
+
+A ground query ``q`` against a database with incomplete information has two
+natural answers (the standard notions Reiter's framework supports and that
+the paper's "pooling the query results" step computes):
+
+* ``q`` is **certain** iff it holds in *every* alternative world;
+* ``q`` is **possible** iff it holds in *some* alternative world.
+
+Both are decided by SAT over the theory's clauses — no world enumeration:
+
+* possible(q)  <=>  section & q        is satisfiable;
+* certain(q)   <=>  section & !q       is unsatisfiable.
+
+Queries are wffs over L' — predicate constants are invisible and rejected
+(Section 2: they "may not appear in any query posed to the database").
+Query atoms outside the theory's atom universe are folded to F first (the
+completion axioms make them false in every model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import QueryError
+from repro.logic.cnf import tseitin
+from repro.logic.parser import parse
+from repro.logic.sat import Solver
+from repro.logic.syntax import Bottom, Formula, Not, Top
+from repro.logic.transform import condition
+from repro.theory.theory import ExtendedRelationalTheory
+
+
+@dataclass(frozen=True)
+class Answer:
+    """Three-valued answer to a ground query."""
+
+    certain: bool
+    possible: bool
+
+    @property
+    def status(self) -> str:
+        if self.certain:
+            return "certain"
+        if self.possible:
+            return "possible"
+        return "impossible"
+
+    def __str__(self) -> str:
+        return self.status
+
+
+def _prepare_query(
+    theory: ExtendedRelationalTheory, query: Union[Formula, str]
+) -> Formula:
+    if isinstance(query, str):
+        query = parse(query)
+    if not isinstance(query, Formula):
+        raise QueryError(f"expected a query formula, got {query!r}")
+    if query.predicate_constants():
+        raise QueryError(
+            "queries may not mention predicate constants; they are invisible "
+            "in alternative worlds"
+        )
+    universe = theory.atom_universe()
+    outside = {
+        atom: False for atom in query.ground_atoms() if atom not in universe
+    }
+    if outside:
+        query = condition(query, outside)
+    return query
+
+
+def is_possible(
+    theory: ExtendedRelationalTheory, query: Union[Formula, str]
+) -> bool:
+    """Does *query* hold in at least one alternative world?"""
+    prepared = _prepare_query(theory, query)
+    if isinstance(prepared, Top):
+        return theory.is_consistent()
+    if isinstance(prepared, Bottom):
+        return False
+    clauses = theory.clauses()
+    encoded = tseitin(prepared, prefix="@q")
+    clauses.extend(encoded.clauses)
+    return Solver(clauses).solve() is not None
+
+
+def is_certain(
+    theory: ExtendedRelationalTheory, query: Union[Formula, str]
+) -> bool:
+    """Does *query* hold in every alternative world?
+
+    Vacuously true for an inconsistent theory (no worlds), matching the
+    logical reading ``T |= q``.
+    """
+    prepared = _prepare_query(theory, query)
+    if isinstance(prepared, Top):
+        return True
+    negated = Not(prepared)
+    clauses = theory.clauses()
+    encoded = tseitin(negated, prefix="@q")
+    clauses.extend(encoded.clauses)
+    return Solver(clauses).solve() is None
+
+
+def ask(theory: ExtendedRelationalTheory, query: Union[Formula, str]) -> Answer:
+    """Full three-valued answer (two SAT calls, short-circuited)."""
+    certain = is_certain(theory, query)
+    if certain:
+        # certain implies possible unless the theory is inconsistent.
+        return Answer(certain=True, possible=theory.is_consistent())
+    return Answer(certain=False, possible=is_possible(theory, query))
+
+
+def witness_world(
+    theory: ExtendedRelationalTheory,
+    query: Union[Formula, str],
+    *,
+    holds: bool = True,
+):
+    """An alternative world where *query* is true (or, with
+    ``holds=False``, false) — None when no such world exists.
+
+    This is the "explain" primitive: a possible-but-not-certain answer is
+    justified by one witness of each kind.  One SAT call; no enumeration.
+    """
+    from repro.theory.worlds import AlternativeWorld
+
+    prepared = _prepare_query(theory, query)
+    goal = prepared if holds else Not(prepared)
+    if isinstance(goal, Top):
+        goal_clauses = []
+    elif isinstance(goal, Bottom):
+        return None
+    else:
+        encoded = tseitin(goal, prefix="@w")
+        goal_clauses = list(encoded.clauses)
+    clauses = theory.clauses()
+    clauses.extend(goal_clauses)
+    model = Solver(clauses).solve()
+    if model is None:
+        return None
+    universe = theory.atom_universe()
+    return AlternativeWorld(
+        atom for atom in universe if model.get(atom, False)
+    )

@@ -1,0 +1,189 @@
+"""Queries with variables: certain and possible answer *sets*.
+
+The classic companion of null-value querying (Reiter's framework, which the
+paper builds on): for an open query such as ``Emp(?x, sales)``, the
+
+* **certain answers** are the bindings true in *every* alternative world;
+* **possible answers** are the bindings true in *some* world.
+
+Variables use the same ``?name`` surface syntax and the same
+range-restriction rule as open updates: a variable's candidates come from
+matching the query's atoms against the theory's atom universe (by the
+completion axioms, no binding outside the candidates can make a positive
+occurrence true).  Each candidate binding is decided by two SAT calls —
+worlds are never enumerated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.ldml.open_updates import (
+    VAR_PREFIX,
+    _reject_user_prefix,
+    _substitute,
+    _SURFACE_VAR_RE,
+    is_variable,
+    variable_name,
+)
+from repro.logic.parser import parse
+from repro.logic.syntax import Formula
+from repro.logic.terms import Constant, GroundAtom
+from repro.query.answers import ask
+from repro.theory.theory import ExtendedRelationalTheory
+
+
+@dataclass(frozen=True)
+class AnswerRow:
+    """One candidate binding with its certainty status."""
+
+    binding: Tuple[Tuple[str, Constant], ...]  # sorted (variable, value)
+    status: str  # "certain" | "possible" | "impossible"
+
+    def values(self) -> Tuple[str, ...]:
+        return tuple(str(value) for _, value in self.binding)
+
+    def as_dict(self) -> Dict[str, Constant]:
+        return dict(self.binding)
+
+
+def parse_open_query(text: str) -> "OpenQuery":
+    """Parse a query formula that may contain ``?var`` variables."""
+    _reject_user_prefix(text)
+    lowered = _SURFACE_VAR_RE.sub(lambda m: VAR_PREFIX + m.group(1), text)
+    return OpenQuery(parse(lowered))
+
+
+class OpenQuery:
+    """A query template over variables (reserved constants)."""
+
+    __slots__ = ("formula",)
+
+    def __init__(self, formula: Formula):
+        if formula.predicate_constants():
+            raise QueryError(
+                "queries may not mention predicate constants; they are "
+                "invisible in alternative worlds"
+            )
+        object.__setattr__(self, "formula", formula)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("OpenQuery is immutable")
+
+    def variables(self) -> Tuple[str, ...]:
+        names = set()
+        for atom in self.formula.ground_atoms():
+            for constant in atom.args:
+                if is_variable(constant):
+                    names.add(variable_name(constant))
+        return tuple(sorted(names))
+
+    def candidate_values(
+        self, theory: ExtendedRelationalTheory
+    ) -> Dict[str, Tuple[Constant, ...]]:
+        candidates: Dict[str, set] = {name: set() for name in self.variables()}
+        if not candidates:
+            return {}
+        by_predicate: Dict = {}
+        for atom in theory.atom_universe():
+            by_predicate.setdefault(atom.predicate, []).append(atom)
+        for template_atom in self.formula.ground_atoms():
+            variable_positions = [
+                (index, variable_name(constant))
+                for index, constant in enumerate(template_atom.args)
+                if is_variable(constant)
+            ]
+            if not variable_positions:
+                continue
+            for universe_atom in by_predicate.get(template_atom.predicate, ()):
+                if not _matches(template_atom, universe_atom):
+                    continue
+                for index, name in variable_positions:
+                    candidates[name].add(universe_atom.args[index])
+        return {
+            name: tuple(sorted(values)) for name, values in candidates.items()
+        }
+
+    def bindings(
+        self,
+        theory: ExtendedRelationalTheory,
+        domains: Optional[Mapping[str, Sequence[Constant]]] = None,
+    ) -> Iterator[Dict[str, Constant]]:
+        names = self.variables()
+        if not names:
+            yield {}
+            return
+        candidates = self.candidate_values(theory)
+        pools = [
+            tuple(domains[name])
+            if domains is not None and name in domains
+            else candidates.get(name, ())
+            for name in names
+        ]
+        for combo in itertools.product(*pools):
+            yield dict(zip(names, combo))
+
+    def ground(self, binding: Mapping[str, Constant]) -> Formula:
+        missing = set(self.variables()) - set(binding)
+        if missing:
+            raise QueryError(f"binding does not cover variables: {sorted(missing)}")
+        return _substitute(self.formula, binding)
+
+    # -- answers ------------------------------------------------------------------
+
+    def answers(
+        self,
+        theory: ExtendedRelationalTheory,
+        domains: Optional[Mapping[str, Sequence[Constant]]] = None,
+        *,
+        include_impossible: bool = False,
+    ) -> List[AnswerRow]:
+        """Every candidate binding with its certain/possible status."""
+        names = self.variables()
+        rows: List[AnswerRow] = []
+        for binding in self.bindings(theory, domains):
+            answer = ask(theory, self.ground(binding))
+            if answer.status == "impossible" and not include_impossible:
+                continue
+            rows.append(
+                AnswerRow(
+                    binding=tuple(sorted(binding.items())),
+                    status=answer.status,
+                )
+            )
+        rows.sort(key=lambda row: row.values())
+        return rows
+
+    def certain_answers(
+        self, theory: ExtendedRelationalTheory, **kwargs
+    ) -> List[Tuple[str, ...]]:
+        return [
+            row.values()
+            for row in self.answers(theory, **kwargs)
+            if row.status == "certain"
+        ]
+
+    def possible_answers(
+        self, theory: ExtendedRelationalTheory, **kwargs
+    ) -> List[Tuple[str, ...]]:
+        return [
+            row.values()
+            for row in self.answers(theory, **kwargs)
+            if row.status in ("certain", "possible")
+        ]
+
+    def __repr__(self) -> str:
+        text = str(self.formula)
+        for name in self.variables():
+            text = text.replace(VAR_PREFIX + name, "?" + name)
+        return f"QUERY[{text}]"
+
+
+def _matches(template_atom: GroundAtom, universe_atom: GroundAtom) -> bool:
+    for template_constant, actual in zip(template_atom.args, universe_atom.args):
+        if not is_variable(template_constant) and template_constant != actual:
+            return False
+    return True

@@ -1,0 +1,95 @@
+"""Select-style queries: tuple membership with certainty status.
+
+Bridges the logical view back to the relational one: for a relation P, each
+candidate tuple (an atom of P in the theory's atom universe — by the
+completion axioms no other tuple can be true anywhere) is classified as
+
+* ``certain``  — in P in every world,
+* ``possible`` — in P in some but not all worlds,
+* ``impossible`` — in P in no world (e.g. only ``!P(c)`` survives).
+
+This is what "pooling the query results in a final step" (Section 3.2)
+produces for the simplest membership queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.errors import QueryError
+from repro.logic.syntax import Atom
+from repro.logic.terms import Constant, Predicate
+from repro.query.answers import ask
+from repro.theory.theory import ExtendedRelationalTheory
+
+
+@dataclass(frozen=True)
+class SelectedRow:
+    """One candidate tuple with its certainty status."""
+
+    tuple: Tuple[Constant, ...]
+    status: str  # "certain" | "possible" | "impossible"
+
+    def values(self) -> Tuple[str, ...]:
+        return tuple(str(c) for c in self.tuple)
+
+
+def select(
+    theory: ExtendedRelationalTheory,
+    relation: Union[Predicate, str],
+    *,
+    include_impossible: bool = False,
+) -> List[SelectedRow]:
+    """Classify every candidate tuple of *relation*.
+
+    Deterministic row order (the store's index order).  ``impossible`` rows
+    are omitted by default: they correspond to tuples the theory mentions
+    only negatively.
+    """
+    predicate = _resolve_predicate(theory, relation)
+    rows: List[SelectedRow] = []
+    for atom in theory.predicate_atoms(predicate):
+        answer = ask(theory, Atom(atom))
+        if answer.status == "impossible" and not include_impossible:
+            continue
+        rows.append(SelectedRow(tuple=atom.args, status=answer.status))
+    return rows
+
+
+def certain_tuples(
+    theory: ExtendedRelationalTheory, relation: Union[Predicate, str]
+) -> List[Tuple[Constant, ...]]:
+    """Just the tuples present in every world."""
+    return [
+        row.tuple
+        for row in select(theory, relation)
+        if row.status == "certain"
+    ]
+
+
+def possible_tuples(
+    theory: ExtendedRelationalTheory, relation: Union[Predicate, str]
+) -> List[Tuple[Constant, ...]]:
+    """Tuples present in at least one world (certain ones included)."""
+    return [
+        row.tuple
+        for row in select(theory, relation)
+        if row.status in ("certain", "possible")
+    ]
+
+
+def _resolve_predicate(
+    theory: ExtendedRelationalTheory, relation: Union[Predicate, str]
+) -> Predicate:
+    if isinstance(relation, Predicate):
+        return relation
+    if theory.schema is not None:
+        try:
+            return theory.schema.relation(relation).predicate
+        except Exception:  # fall through to the language lookup
+            pass
+    try:
+        return theory.language.predicate(relation)
+    except Exception:
+        raise QueryError(f"unknown relation {relation!r}") from None

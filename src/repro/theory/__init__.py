@@ -1,0 +1,86 @@
+"""Extended relational theories (Section 2 and Section 3.5 of the paper)."""
+
+from repro.theory.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    schema_from_dict,
+)
+from repro.theory.language import Language
+from repro.theory.axioms import (
+    CompletionAxiom,
+    TypeAxiom,
+    derive_completion_axioms,
+    derive_type_axioms,
+)
+from repro.theory.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    MultivaluedDependency,
+    TAnd,
+    TAtom,
+    TEq,
+    TNot,
+    TOr,
+    TemplateAtom,
+    TemplateDependency,
+    Var,
+)
+from repro.theory.index import AtomCell, StoredWff, WffStore
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import (
+    EMPTY_WORLD,
+    AlternativeWorld,
+    restrict_worlds,
+    world_set,
+    worlds_equal,
+)
+from repro.theory.skolem import (
+    NullBinding,
+    SkolemConstant,
+    SkolemTheory,
+    instantiate,
+    is_null,
+    nulls_in_formula,
+)
+from repro.theory.builder import TheoryBuilder, theory_from_worlds
+
+__all__ = [
+    "Attribute",
+    "DatabaseSchema",
+    "RelationSchema",
+    "schema_from_dict",
+    "Language",
+    "CompletionAxiom",
+    "TypeAxiom",
+    "derive_completion_axioms",
+    "derive_type_axioms",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "MultivaluedDependency",
+    "TAnd",
+    "TAtom",
+    "TEq",
+    "TNot",
+    "TOr",
+    "TemplateAtom",
+    "TemplateDependency",
+    "Var",
+    "AtomCell",
+    "StoredWff",
+    "WffStore",
+    "ExtendedRelationalTheory",
+    "EMPTY_WORLD",
+    "AlternativeWorld",
+    "restrict_worlds",
+    "world_set",
+    "worlds_equal",
+    "NullBinding",
+    "SkolemConstant",
+    "SkolemTheory",
+    "instantiate",
+    "is_null",
+    "nulls_in_formula",
+    "TheoryBuilder",
+    "theory_from_worlds",
+]

@@ -1,0 +1,136 @@
+"""Derived axioms: unique-name, completion, and type axioms.
+
+Section 2's closing remark is explicit: "In an implementation of extended
+relational theories, we would not actually store any of these axioms.
+Rather, the axioms formalize our intuitions about the behavior of a query
+and update processor."  Accordingly:
+
+* unique-name axioms are realized by constants comparing equal iff their
+  names match (see :mod:`repro.logic.terms`);
+* completion axioms are *derived* from the non-axiomatic section — the
+  completion axiom for predicate P has a disjunct for atom f iff f appears
+  somewhere in the theory (the invariant Step 1/2'/7 of GUA maintain);
+* type axioms are derived from the schema.
+
+This module renders those derived axioms as first-class objects for
+verification, display, and the world-level legality checks (rule 3 of the
+augmented update semantics).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from repro.logic.terms import GroundAtom, Predicate
+from repro.theory.schema import DatabaseSchema, RelationSchema
+
+
+class CompletionAxiom:
+    """The derived completion axiom for one predicate.
+
+    ``disjuncts`` is the tuple of ground atoms represented in the axiom; an
+    empty tuple renders the universal-negation form
+    ``forall x1..xn !P(x1..xn)``.
+    """
+
+    __slots__ = ("predicate", "disjuncts")
+
+    def __init__(self, predicate: Predicate, disjuncts: Sequence[GroundAtom]):
+        for atom in disjuncts:
+            if atom.predicate != predicate:
+                raise ValueError(
+                    f"disjunct {atom} does not belong to predicate {predicate}"
+                )
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "disjuncts", tuple(disjuncts))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("CompletionAxiom is immutable")
+
+    def permits(self, atom: GroundAtom) -> bool:
+        """May *atom* be true in some model? (Is it a disjunct?)"""
+        return atom in self.disjuncts
+
+    def holds_in_world(self, true_atoms: FrozenSet[GroundAtom]) -> bool:
+        """No true atom of this predicate outside the disjunct list."""
+        allowed = set(self.disjuncts)
+        return all(
+            atom in allowed
+            for atom in true_atoms
+            if atom.predicate == self.predicate
+        )
+
+    def render(self) -> str:
+        """The paper's concrete axiom text (display/verification only)."""
+        arity = self.predicate.arity
+        variables = [f"x{i + 1}" for i in range(arity)]
+        var_list = " ".join(f"forall {v}" for v in variables)
+        head = f"{self.predicate.name}({','.join(variables)})"
+        if not self.disjuncts:
+            return f"{var_list} !{head}"
+        disjunct_texts = []
+        for atom in self.disjuncts:
+            eqs = " & ".join(
+                f"{v} = {c}" for v, c in zip(variables, atom.args)
+            )
+            disjunct_texts.append(f"({eqs})")
+        return f"{var_list} ({head} -> {' | '.join(disjunct_texts)})"
+
+    def __repr__(self) -> str:
+        return f"CompletionAxiom({self.predicate}, {len(self.disjuncts)} disjuncts)"
+
+
+class TypeAxiom:
+    """The derived type axiom for one relation (Section 3.5 item 4)."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: RelationSchema):
+        object.__setattr__(self, "relation", relation)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("TypeAxiom is immutable")
+
+    def holds_in_world(self, true_atoms: FrozenSet[GroundAtom]) -> bool:
+        true_set = frozenset(true_atoms)
+        for atom in true_set:
+            if atom.predicate != self.relation.predicate:
+                continue
+            for obligation in self.relation.attribute_atoms(atom):
+                if obligation not in true_set:
+                    return False
+        return True
+
+    def render(self) -> str:
+        arity = self.relation.arity
+        variables = [f"x{i + 1}" for i in range(arity)]
+        var_list = " ".join(f"forall {v}" for v in variables)
+        head = f"{self.relation.name}({','.join(variables)})"
+        body = " & ".join(
+            f"{attribute.name}({v})"
+            for attribute, v in zip(self.relation.attributes, variables)
+        )
+        return f"{var_list} ({head} -> {body})"
+
+    def __repr__(self) -> str:
+        return f"TypeAxiom({self.relation.name})"
+
+
+def derive_completion_axioms(
+    predicates: Iterable[Predicate],
+    atoms_of: "callable",
+) -> Tuple[CompletionAxiom, ...]:
+    """Derive a completion axiom per predicate from the live atom universe.
+
+    ``atoms_of(predicate)`` must return that predicate's atoms in the
+    non-axiomatic section, in deterministic order (the store's index order).
+    """
+    return tuple(
+        CompletionAxiom(predicate, atoms_of(predicate))
+        for predicate in predicates
+    )
+
+
+def derive_type_axioms(schema: DatabaseSchema) -> Tuple[TypeAxiom, ...]:
+    """One type axiom per relation of the schema."""
+    return tuple(TypeAxiom(relation) for relation in schema.relations())

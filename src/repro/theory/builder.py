@@ -1,0 +1,167 @@
+"""Fluent construction of extended relational theories.
+
+The paper's examples build theories out of three ingredients: definite facts
+(``a``), negative facts (``!a``), and disjunctive information (``a | b`` —
+"one knows that one or more of a set of tuples holds true, without knowing
+which one").  :class:`TheoryBuilder` packages those, plus the schema and
+dependency plumbing, so examples and tests read like the paper:
+
+    builder = TheoryBuilder(schema)
+    builder.fact("Orders(700,32,9)")
+    builder.disjunction("Orders(100,32,1)", "Orders(100,32,7)")
+    builder.unknown("InStock(32,1)")
+    theory = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.errors import TheoryError
+from repro.logic.parser import parse
+from repro.logic.syntax import Atom, Formula, Not, Or, disjoin
+from repro.logic.terms import GroundAtom
+from repro.theory.dependencies import TemplateDependency
+from repro.theory.language import Language
+from repro.theory.schema import DatabaseSchema
+from repro.theory.theory import ExtendedRelationalTheory
+
+FormulaLike = Union[Formula, GroundAtom, str]
+
+
+def _as_formula(value: FormulaLike) -> Formula:
+    if isinstance(value, str):
+        return parse(value)
+    if isinstance(value, GroundAtom):
+        return Atom(value)
+    if isinstance(value, Formula):
+        return value
+    raise TheoryError(f"cannot interpret {value!r} as a formula")
+
+
+class TheoryBuilder:
+    """Accumulates wffs and axioms, then builds the theory."""
+
+    def __init__(
+        self,
+        schema: Optional[DatabaseSchema] = None,
+        language: Optional[Language] = None,
+    ):
+        self._schema = schema
+        self._language = language
+        self._formulas: List[Formula] = []
+        self._dependencies: List[TemplateDependency] = []
+
+    # -- content -----------------------------------------------------------------
+
+    def add(self, formula: FormulaLike) -> "TheoryBuilder":
+        """Add an arbitrary ground wff."""
+        self._formulas.append(_as_formula(formula))
+        return self
+
+    def fact(self, *atoms: FormulaLike) -> "TheoryBuilder":
+        """Assert atoms as definitely true."""
+        for atom in atoms:
+            formula = _as_formula(atom)
+            self._formulas.append(formula)
+        return self
+
+    def negative_fact(self, *atoms: FormulaLike) -> "TheoryBuilder":
+        """Assert atoms as definitely false."""
+        for atom in atoms:
+            self._formulas.append(Not(_as_formula(atom)))
+        return self
+
+    def disjunction(self, *alternatives: FormulaLike) -> "TheoryBuilder":
+        """Disjunctive information: at least one of the alternatives holds."""
+        if len(alternatives) < 2:
+            raise TheoryError("a disjunction needs at least two alternatives")
+        self._formulas.append(
+            Or(tuple(_as_formula(a) for a in alternatives))
+        )
+        return self
+
+    def exclusive_choice(self, *alternatives: FormulaLike) -> "TheoryBuilder":
+        """Exactly one of the alternatives holds (disjunction + exclusions)."""
+        formulas = [_as_formula(a) for a in alternatives]
+        if len(formulas) < 2:
+            raise TheoryError("an exclusive choice needs at least two alternatives")
+        self._formulas.append(Or(tuple(formulas)))
+        for i, left in enumerate(formulas):
+            for right in formulas[i + 1:]:
+                self._formulas.append(Not(left & right))
+        return self
+
+    def unknown(self, *atoms: FormulaLike) -> "TheoryBuilder":
+        """Record that an atom's truth value is unknown.
+
+        The tautology ``a | !a`` mentions the atom, which (by the
+        completion-axiom invariant) adds it to the atom universe without
+        constraining it — the theory then has worlds with and without it.
+        """
+        for atom in atoms:
+            formula = _as_formula(atom)
+            self._formulas.append(Or((formula, Not(formula))))
+        return self
+
+    def dependency(self, dependency: TemplateDependency) -> "TheoryBuilder":
+        self._dependencies.append(dependency)
+        return self
+
+    # -- build -------------------------------------------------------------------
+
+    def build(self, *, check_invariant: bool = False) -> ExtendedRelationalTheory:
+        """Construct the theory; optionally verify the Section 3.5 invariant
+        that type/dependency axioms do not prune any model."""
+        theory = ExtendedRelationalTheory(
+            language=self._language,
+            schema=self._schema,
+            dependencies=tuple(self._dependencies),
+            formulas=self._formulas,
+        )
+        if check_invariant and not theory.satisfies_axiom_invariant():
+            raise TheoryError(
+                "non-axiomatic section admits worlds that violate the type or "
+                "dependency axioms; add the axioms' ground instances (or use "
+                "GUA, which maintains this invariant automatically)"
+            )
+        return theory
+
+
+def theory_from_worlds(
+    worlds: Iterable[Sequence[FormulaLike]],
+) -> ExtendedRelationalTheory:
+    """Build a theory whose alternative worlds are exactly the given ones.
+
+    Each entry lists the atoms true in one world.  The encoding is the
+    disjunction over worlds of complete conjunctions relative to the union
+    universe — the canonical "any set of relational databases with the same
+    schema is representable" construction behind the claim in Section 2.
+    """
+    world_atom_sets = []
+    for world in worlds:
+        atoms = set()
+        for entry in world:
+            formula = _as_formula(entry)
+            if not (isinstance(formula, Atom) and isinstance(formula.atom, GroundAtom)):
+                raise TheoryError(f"worlds must list ground atoms, got {entry!r}")
+            atoms.add(formula.atom)
+        world_atom_sets.append(frozenset(atoms))
+    if not world_atom_sets:
+        raise TheoryError("at least one world is required (a theory with no "
+                          "worlds is inconsistent; add F explicitly if wanted)")
+    universe = sorted(set().union(*world_atom_sets))
+    theory = ExtendedRelationalTheory()
+    disjuncts = []
+    for atoms in world_atom_sets:
+        literals = [
+            Atom(a) if a in atoms else Not(Atom(a)) for a in universe
+        ]
+        if len(literals) == 1:
+            disjuncts.append(literals[0])
+        else:
+            from repro.logic.syntax import And
+
+            disjuncts.append(And(literals))
+    theory.add_formula(disjoin(disjuncts))
+    return theory

@@ -1,0 +1,771 @@
+"""Dependency axioms: template dependencies and their classic special cases.
+
+Section 3.5 item 5 admits universally quantified dependencies of a template
+form::
+
+    forall x1..xn ( g1 & ... & gm  ->  beta )
+
+where each ``g_i`` is an atomic formula over variables/constants and ``beta``
+is quantifier-free (it may use equality, as in the functional-dependency
+example ``forall x1 x2 x3 ( P(x1,x2) & P(x1,x3) -> x2 = x3 )``).
+
+This module provides:
+
+* a small term/template language (:class:`Var`, :class:`TemplateAtom`) and a
+  quantifier-free head AST (:class:`THead` and friends);
+* :class:`TemplateDependency`, the general form, with
+
+  - ``holds_in_world`` — the model-level check (rule 3 of the augmented
+    INSERT semantics),
+  - ``instantiations`` — the Step 6 grounding: for every binding whose body
+    atoms all appear in the theory, the ground wff ``(alpha -> beta)σ``;
+
+* the classic special cases with dedicated constructors and *fast* conflict
+  detection paths matching the Section 3.6 cost analysis:
+  :class:`FunctionalDependency`, :class:`InclusionDependency`,
+  :class:`MultivaluedDependency`.
+
+Ground equalities are folded immediately under the unique-name axioms:
+``c = c`` is T and ``c = d`` is F for distinct names, so instantiated heads
+are ordinary ground wffs of L (no equality survives, respecting the
+restriction that non-axiomatic wffs contain no equality).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import SchemaError
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    Atom,
+    Formula,
+    Implies,
+    Not,
+    conjoin,
+    disjoin,
+)
+from repro.logic.semantics import evaluate
+from repro.logic.terms import Constant, GroundAtom, Predicate, as_constant
+
+
+class Var:
+    """A universally quantified template variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Var is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = Union[Var, Constant]
+Binding = Dict[Var, Constant]
+
+
+def _as_term(value) -> Term:
+    if isinstance(value, (Var, Constant)):
+        return value
+    return as_constant(value)
+
+
+class TemplateAtom:
+    """``P(t1, ..., tn)`` with each ``t_i`` a variable or constant."""
+
+    __slots__ = ("predicate", "terms")
+
+    def __init__(self, predicate: Predicate, terms: Sequence[Term]):
+        terms = tuple(_as_term(t) for t in terms)
+        if len(terms) != predicate.arity:
+            raise SchemaError(
+                f"template atom for {predicate} needs {predicate.arity} terms"
+            )
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", terms)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("TemplateAtom is immutable")
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset(t for t in self.terms if isinstance(t, Var))
+
+    def match(self, atom: GroundAtom, binding: Binding) -> Optional[Binding]:
+        """Extend *binding* so this template equals *atom*, or None."""
+        if atom.predicate != self.predicate:
+            return None
+        extended = dict(binding)
+        for term, constant in zip(self.terms, atom.args):
+            if isinstance(term, Constant):
+                if term != constant:
+                    return None
+            else:
+                bound = extended.get(term)
+                if bound is None:
+                    extended[term] = constant
+                elif bound != constant:
+                    return None
+        return extended
+
+    def ground(self, binding: Binding) -> GroundAtom:
+        args = []
+        for term in self.terms:
+            if isinstance(term, Var):
+                try:
+                    args.append(binding[term])
+                except KeyError:
+                    raise SchemaError(f"unbound variable {term} in {self}") from None
+            else:
+                args.append(term)
+        return GroundAtom(self.predicate, tuple(args))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TemplateAtom)
+            and self.predicate == other.predicate
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TemplateAtom", self.predicate, self.terms))
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(t) for t in self.terms)
+        return f"{self.predicate.name}({inner})"
+
+
+# -- quantifier-free heads -----------------------------------------------------
+
+
+class THead:
+    """Base of head AST nodes; instantiates to a ground Formula."""
+
+    def instantiate(self, binding: Binding) -> Formula:
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[Var]:
+        raise NotImplementedError
+
+    def template_atoms(self) -> Tuple[TemplateAtom, ...]:
+        """Template atoms occurring in the head (for seeded grounding)."""
+        return ()
+
+
+class TAtom(THead):
+    """A template atom used in a head position."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: TemplateAtom):
+        self.atom = atom
+
+    def instantiate(self, binding: Binding) -> Formula:
+        return Atom(self.atom.ground(binding))
+
+    def variables(self) -> FrozenSet[Var]:
+        return self.atom.variables()
+
+    def template_atoms(self) -> Tuple[TemplateAtom, ...]:
+        return (self.atom,)
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+
+class TEq(THead):
+    """``t1 = t2`` — folded to T/F at instantiation (unique-name axioms)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Term, right: Term):
+        self.left = _as_term(left)
+        self.right = _as_term(right)
+
+    def instantiate(self, binding: Binding) -> Formula:
+        left = binding[self.left] if isinstance(self.left, Var) else self.left
+        right = binding[self.right] if isinstance(self.right, Var) else self.right
+        return TRUE if left == right else FALSE
+
+    def variables(self) -> FrozenSet[Var]:
+        result = set()
+        if isinstance(self.left, Var):
+            result.add(self.left)
+        if isinstance(self.right, Var):
+            result.add(self.right)
+        return frozenset(result)
+
+    def __repr__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class TNot(THead):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: THead):
+        self.operand = operand
+
+    def instantiate(self, binding: Binding) -> Formula:
+        inner = self.operand.instantiate(binding)
+        if inner == TRUE:
+            return FALSE
+        if inner == FALSE:
+            return TRUE
+        return Not(inner)
+
+    def variables(self) -> FrozenSet[Var]:
+        return self.operand.variables()
+
+    def template_atoms(self) -> Tuple[TemplateAtom, ...]:
+        return self.operand.template_atoms()
+
+    def __repr__(self) -> str:
+        return f"!({self.operand!r})"
+
+
+class TAnd(THead):
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[THead]):
+        self.operands = tuple(operands)
+
+    def instantiate(self, binding: Binding) -> Formula:
+        from repro.logic.transform import fold_constants
+
+        return fold_constants(
+            conjoin([op.instantiate(binding) for op in self.operands])
+        )
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset().union(*(op.variables() for op in self.operands))
+
+    def template_atoms(self) -> Tuple[TemplateAtom, ...]:
+        result: Tuple[TemplateAtom, ...] = ()
+        for op in self.operands:
+            result += op.template_atoms()
+        return result
+
+    def __repr__(self) -> str:
+        return " & ".join(repr(op) for op in self.operands)
+
+
+class TOr(THead):
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[THead]):
+        self.operands = tuple(operands)
+
+    def instantiate(self, binding: Binding) -> Formula:
+        from repro.logic.transform import fold_constants
+
+        return fold_constants(
+            disjoin([op.instantiate(binding) for op in self.operands])
+        )
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset().union(*(op.variables() for op in self.operands))
+
+    def template_atoms(self) -> Tuple[TemplateAtom, ...]:
+        result: Tuple[TemplateAtom, ...] = ()
+        for op in self.operands:
+            result += op.template_atoms()
+        return result
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(op) for op in self.operands)
+
+
+# -- the general template dependency ------------------------------------------
+
+
+class TemplateDependency:
+    """``forall vars ( g1 & ... & gm -> beta )`` over template atoms.
+
+    Every variable of the head must occur in the body (Section 3.5: "x1
+    through xn appear in alpha"), so each body binding grounds the head.
+    """
+
+    def __init__(self, body: Sequence[TemplateAtom], head: THead, name: str = ""):
+        self.body = tuple(body)
+        self.head = head
+        self.name = name or "dependency"
+        if not self.body:
+            raise SchemaError("template dependency needs a non-empty body")
+        body_vars = frozenset().union(*(g.variables() for g in self.body))
+        if not head.variables() <= body_vars:
+            raise SchemaError(
+                f"head variables {head.variables() - body_vars} not bound by body"
+            )
+
+    # -- binding enumeration ----------------------------------------------------
+
+    def bindings(self, atoms: Iterable[GroundAtom]) -> Iterator[Binding]:
+        """All bindings making every body atom a member of *atoms* (a join)."""
+        pool = list(atoms)
+        by_predicate: Dict[Predicate, List[GroundAtom]] = {}
+        for atom in pool:
+            by_predicate.setdefault(atom.predicate, []).append(atom)
+        for bucket in by_predicate.values():
+            bucket.sort()
+
+        def extend(index: int, binding: Binding) -> Iterator[Binding]:
+            if index == len(self.body):
+                yield binding
+                return
+            template = self.body[index]
+            for atom in by_predicate.get(template.predicate, ()):
+                extended = template.match(atom, binding)
+                if extended is not None:
+                    yield from extend(index + 1, extended)
+
+        yield from extend(0, {})
+
+    # -- model-level check --------------------------------------------------------
+
+    def holds_in_world(self, true_atoms: FrozenSet[GroundAtom]) -> bool:
+        """Rule-3 check: is the dependency satisfied by this world?
+
+        Body atoms are matched against the *true* atoms of the world; the
+        instantiated head is then evaluated closed-world.
+        """
+        valuation = {atom: True for atom in true_atoms}
+        for binding in self.bindings(true_atoms):
+            head = self.head.instantiate(binding)
+            if not evaluate(head, valuation):
+                return False
+        return True
+
+    # -- Step 6 grounding -----------------------------------------------------------
+
+    def instantiations(
+        self,
+        universe: Iterable[GroundAtom],
+        touching: Optional[Iterable[GroundAtom]] = None,
+        atoms_by_predicate=None,
+        contains=None,
+    ) -> Iterator[Formula]:
+        """Ground instances ``(alpha -> beta)σ`` over the theory's atoms.
+
+        Step 6 requires instantiating "for those ground atomic formulas that
+        unify with g_i of alpha": every binding under which *all* body atoms
+        appear in the theory (its atom universe).  With *touching* given,
+        only bindings whose instance involves a touched atom — body *or*
+        head (the paper's inclusion example: deleting Q(a) while P(a) stays
+        must materialize P(a) -> Q(a)) — are produced, and they are found by
+        *seeding* the join from the touched atoms, so the work is
+        proportional to the matching bindings, not to the full cross product
+        (the Section 3.6 incremental cost model).
+
+        ``atoms_by_predicate`` optionally supplies the per-predicate atom
+        lists (e.g. the theory store's live indexes) so the universe need
+        not be materialized.
+        """
+        if touching is None:
+            universe_set = frozenset(universe)
+            by_predicate = self._bucket(universe_set)
+            for binding in self._join(by_predicate, 0, {}, skip=None):
+                instance = self._instance(binding)
+                if instance is not None:
+                    yield instance
+            return
+
+        touch_list = sorted(frozenset(touching))
+        if atoms_by_predicate is None:
+            members = frozenset(universe)
+            buckets = self._bucket(members)
+            lookup = lambda p: buckets.get(p, ())
+            if contains is None:
+                contains = members.__contains__
+        else:
+            lookup = atoms_by_predicate
+
+        emitted = set()
+        head_templates = self.head.template_atoms()
+        for touched in touch_list:
+            seeds: List[Binding] = []
+            skips: List[Optional[int]] = []
+            for position, template in enumerate(self.body):
+                partial = template.match(touched, {})
+                if partial is not None:
+                    seeds.append(partial)
+                    skips.append(position)
+            for template in head_templates:
+                partial = template.match(touched, {})
+                if partial is not None:
+                    seeds.append(partial)
+                    skips.append(None)
+            for seed, skip in zip(seeds, skips):
+                for binding in self._join_indexed(lookup, 0, seed, skip, contains):
+                    key = frozenset(binding.items())
+                    if key in emitted:
+                        continue
+                    emitted.add(key)
+                    instance = self._instance(binding)
+                    if instance is not None:
+                        yield instance
+
+    def _instance(self, binding: Binding) -> Optional[Formula]:
+        head = self.head.instantiate(binding)
+        if head == TRUE:
+            return None  # trivially satisfied instance
+        ground_body = [g.ground(binding) for g in self.body]
+        return Implies(conjoin([Atom(a) for a in ground_body]), head)
+
+    @staticmethod
+    def _bucket(atoms: FrozenSet[GroundAtom]) -> Dict[Predicate, List[GroundAtom]]:
+        buckets: Dict[Predicate, List[GroundAtom]] = {}
+        for atom in atoms:
+            buckets.setdefault(atom.predicate, []).append(atom)
+        for bucket in buckets.values():
+            bucket.sort()
+        return buckets
+
+    def _join(
+        self,
+        by_predicate: Dict[Predicate, List[GroundAtom]],
+        index: int,
+        binding: Binding,
+        skip: Optional[int],
+    ) -> Iterator[Binding]:
+        if index == len(self.body):
+            yield binding
+            return
+        if index == skip:
+            yield from self._join(by_predicate, index + 1, binding, skip)
+            return
+        template = self.body[index]
+        for atom in by_predicate.get(template.predicate, ()):
+            extended = template.match(atom, binding)
+            if extended is not None:
+                yield from self._join(by_predicate, index + 1, extended, skip)
+
+    def _join_indexed(
+        self,
+        lookup,
+        index: int,
+        binding: Binding,
+        skip: Optional[int],
+        contains=None,
+    ) -> Iterator[Binding]:
+        if index == len(self.body):
+            yield binding
+            return
+        if index == skip:
+            yield from self._join_indexed(lookup, index + 1, binding, skip, contains)
+            return
+        template = self.body[index]
+        if contains is not None and template.variables() <= binding.keys():
+            # Fully ground under the binding: O(log R) membership instead of
+            # a scan (the inclusion-dependency path of Section 3.6).
+            atom = template.ground(binding)
+            if contains(atom):
+                yield from self._join_indexed(
+                    lookup, index + 1, binding, skip, contains
+                )
+            return
+        for atom in lookup(template.predicate):
+            extended = template.match(atom, binding)
+            if extended is not None:
+                yield from self._join_indexed(
+                    lookup, index + 1, extended, skip, contains
+                )
+
+    def __repr__(self) -> str:
+        body = " & ".join(repr(g) for g in self.body)
+        return f"TemplateDependency({self.name}: {body} -> {self.head!r})"
+
+
+# -- classic special cases ------------------------------------------------------
+
+
+class FunctionalDependency(TemplateDependency):
+    """``P: X -> Y`` by column index, e.g. ``FD(Orders, [0], [2])``.
+
+    Encoded exactly like the paper's example: for the two-tuple template
+    agreeing on the determinant columns, every dependent column pair must be
+    equal.
+    """
+
+    def __init__(self, predicate: Predicate, determinant: Sequence[int], dependent: Sequence[int]):
+        self.predicate = predicate
+        self.determinant = tuple(determinant)
+        self.dependent = tuple(dependent)
+        _check_columns(predicate, self.determinant)
+        _check_columns(predicate, self.dependent)
+        left_terms: List[Term] = []
+        right_terms: List[Term] = []
+        for column in range(predicate.arity):
+            if column in self.determinant:
+                shared = Var(f"x{column}")
+                left_terms.append(shared)
+                right_terms.append(shared)
+            else:
+                left_terms.append(Var(f"y{column}"))
+                right_terms.append(Var(f"z{column}"))
+        equalities: List[THead] = [
+            TEq(left_terms[column], right_terms[column])
+            for column in self.dependent
+        ]
+        head: THead = equalities[0] if len(equalities) == 1 else TAnd(equalities)
+        super().__init__(
+            body=[
+                TemplateAtom(predicate, left_terms),
+                TemplateAtom(predicate, right_terms),
+            ],
+            head=head,
+            name=f"FD({predicate.name}: {self.determinant} -> {self.dependent})",
+        )
+
+    def holds_in_world(self, true_atoms: FrozenSet[GroundAtom]) -> bool:
+        """Hash-based check: group tuples by determinant, compare dependents.
+
+        This is the optimized enforcement path of Section 3.6 — linear scan
+        with a dictionary instead of the quadratic template join.
+        """
+        groups: Dict[tuple, tuple] = {}
+        for atom in true_atoms:
+            if atom.predicate != self.predicate:
+                continue
+            key = tuple(atom.args[i] for i in self.determinant)
+            value = tuple(atom.args[i] for i in self.dependent)
+            existing = groups.get(key)
+            if existing is None:
+                groups[key] = value
+            elif existing != value:
+                return False
+        return True
+
+    def determinant_key(self, atom: GroundAtom) -> tuple:
+        return tuple(atom.args[i] for i in self.determinant)
+
+    def dependent_value(self, atom: GroundAtom) -> tuple:
+        return tuple(atom.args[i] for i in self.dependent)
+
+    def incremental_instances(
+        self, store, touched: Iterable[GroundAtom], key_index: "FdKeyIndex"
+    ) -> Iterator[Formula]:
+        """The Section 3.6 optimized FD enforcement.
+
+        Using the incrementally-maintained key index, each touched tuple is
+        joined only against its own determinant group — O(log R) when the
+        group is a singleton (best case, fresh keys) and O(R) when every
+        tuple shares one key (worst case).  Yields one exclusion wff
+        ``t & t' -> F`` per conflicting pair.
+        """
+        key_index.refresh(store)
+        for atom in sorted(frozenset(touched)):
+            if atom.predicate != self.predicate:
+                continue
+            value = self.dependent_value(atom)
+            for other in key_index.group(self.determinant_key(atom)):
+                if other == atom or not store.contains_atom(other):
+                    continue
+                if self.dependent_value(other) != value:
+                    first, second = sorted((atom, other))
+                    yield Implies(
+                        conjoin([Atom(first), Atom(second)]), FALSE
+                    )
+
+    def conflicts_with(
+        self, atom: GroundAtom, existing: Iterable[GroundAtom]
+    ) -> List[GroundAtom]:
+        """Tuples in *existing* that clash with *atom* under this FD."""
+        if atom.predicate != self.predicate:
+            return []
+        key = tuple(atom.args[i] for i in self.determinant)
+        value = tuple(atom.args[i] for i in self.dependent)
+        clashes = []
+        for other in existing:
+            if other.predicate != self.predicate or other == atom:
+                continue
+            other_key = tuple(other.args[i] for i in self.determinant)
+            other_value = tuple(other.args[i] for i in self.dependent)
+            if other_key == key and other_value != value:
+                clashes.append(other)
+        return clashes
+
+
+class InclusionDependency(TemplateDependency):
+    """``P[child_cols] ⊆ Q[parent_cols]`` — the paper's Vx(P(x) -> Q(x))."""
+
+    def __init__(
+        self,
+        child: Predicate,
+        child_columns: Sequence[int],
+        parent: Predicate,
+        parent_columns: Sequence[int],
+    ):
+        self.child = child
+        self.parent = parent
+        self.child_columns = tuple(child_columns)
+        self.parent_columns = tuple(parent_columns)
+        _check_columns(child, self.child_columns)
+        _check_columns(parent, self.parent_columns)
+        if len(self.child_columns) != len(self.parent_columns):
+            raise SchemaError("inclusion dependency column lists differ in length")
+        child_terms: List[Term] = [Var(f"x{i}") for i in range(child.arity)]
+        parent_terms: List[Term] = [Var(f"w{i}") for i in range(parent.arity)]
+        for c_col, p_col in zip(self.child_columns, self.parent_columns):
+            parent_terms[p_col] = child_terms[c_col]
+        # Unshared parent columns must not remain free head variables; the
+        # template form requires head vars bound by the body, so inclusion
+        # dependencies here are *full-width on the parent side* unless the
+        # parent's remaining columns are existential.  We model the common
+        # relational case: parent columns not mapped are disallowed.
+        unmapped = [
+            i for i in range(parent.arity) if i not in self.parent_columns
+        ]
+        if unmapped:
+            raise SchemaError(
+                "template-form inclusion dependencies require every parent "
+                f"column to be mapped; columns {unmapped} of {parent.name} are not "
+                "(the paper's template dependencies have no existentials)"
+            )
+        super().__init__(
+            body=[TemplateAtom(child, child_terms)],
+            head=TAtom(TemplateAtom(parent, parent_terms)),
+            name=f"IND({child.name}{list(self.child_columns)} ⊆ "
+            f"{parent.name}{list(self.parent_columns)})",
+        )
+
+    def holds_in_world(self, true_atoms: FrozenSet[GroundAtom]) -> bool:
+        parent_keys = {
+            tuple(atom.args[i] for i in self.parent_columns)
+            for atom in true_atoms
+            if atom.predicate == self.parent
+        }
+        for atom in true_atoms:
+            if atom.predicate != self.child:
+                continue
+            key = tuple(atom.args[i] for i in self.child_columns)
+            if key not in parent_keys:
+                return False
+        return True
+
+
+class MultivaluedDependency(TemplateDependency):
+    """``P: X ->> Y``: worlds are closed under swapping the Z-part.
+
+    Template encoding: ``P(x, y1, z1) & P(x, y2, z2) -> P(x, y1, z2)``.
+    """
+
+    def __init__(self, predicate: Predicate, determinant: Sequence[int], dependent: Sequence[int]):
+        self.predicate = predicate
+        self.determinant = tuple(determinant)
+        self.dependent = tuple(dependent)
+        _check_columns(predicate, self.determinant)
+        _check_columns(predicate, self.dependent)
+        if set(self.determinant) & set(self.dependent):
+            raise SchemaError("MVD determinant and dependent columns overlap")
+        first: List[Term] = []
+        second: List[Term] = []
+        mixed: List[Term] = []
+        for column in range(predicate.arity):
+            if column in self.determinant:
+                shared = Var(f"x{column}")
+                first.append(shared)
+                second.append(shared)
+                mixed.append(shared)
+            elif column in self.dependent:
+                y1, y2 = Var(f"y{column}"), Var(f"u{column}")
+                first.append(y1)
+                second.append(y2)
+                mixed.append(y1)
+            else:
+                z1, z2 = Var(f"z{column}"), Var(f"v{column}")
+                first.append(z1)
+                second.append(z2)
+                mixed.append(z2)
+        super().__init__(
+            body=[
+                TemplateAtom(predicate, first),
+                TemplateAtom(predicate, second),
+            ],
+            head=TAtom(TemplateAtom(predicate, mixed)),
+            name=f"MVD({predicate.name}: {self.determinant} ->> {self.dependent})",
+        )
+
+    def holds_in_world(self, true_atoms: FrozenSet[GroundAtom]) -> bool:
+        tuples = [a for a in true_atoms if a.predicate == self.predicate]
+        present = set(tuples)
+        others = [
+            i
+            for i in range(self.predicate.arity)
+            if i not in self.determinant and i not in self.dependent
+        ]
+        by_key: Dict[tuple, List[GroundAtom]] = {}
+        for atom in tuples:
+            key = tuple(atom.args[i] for i in self.determinant)
+            by_key.setdefault(key, []).append(atom)
+        for group in by_key.values():
+            for t1, t2 in itertools.product(group, repeat=2):
+                args = list(t2.args)
+                for i in self.dependent:
+                    args[i] = t1.args[i]
+                for i in others:
+                    args[i] = t2.args[i]
+                if GroundAtom(self.predicate, tuple(args)) not in present:
+                    return False
+        return True
+
+
+class FdKeyIndex:
+    """Determinant-key index for one functional dependency over one store.
+
+    Refreshes incrementally from the store's arrival log: O(new atoms) per
+    update, never a rescan.  Groups may contain departed atoms; readers
+    re-check ``store.contains_atom`` (the paper's index maintenance model —
+    "lookup and insertion time is O(log R)").
+    """
+
+    __slots__ = ("fd", "consumed", "by_key")
+
+    def __init__(self, fd: "FunctionalDependency"):
+        self.fd = fd
+        self.consumed = 0
+        self.by_key: Dict[tuple, List[GroundAtom]] = {}
+
+    def refresh(self, store) -> int:
+        """Absorb atoms that arrived since the last refresh."""
+        new_atoms = store.insertion_log(self.fd.predicate, self.consumed)
+        for atom in new_atoms:
+            self.by_key.setdefault(self.fd.determinant_key(atom), []).append(atom)
+        self.consumed += len(new_atoms)
+        return len(new_atoms)
+
+    def group(self, key: tuple) -> Tuple[GroundAtom, ...]:
+        return tuple(self.by_key.get(key, ()))
+
+
+def _check_columns(predicate: Predicate, columns: Tuple[int, ...]) -> None:
+    if not columns:
+        raise SchemaError("column list must be non-empty")
+    for column in columns:
+        if not 0 <= column < predicate.arity:
+            raise SchemaError(
+                f"column {column} out of range for {predicate}"
+            )

@@ -1,0 +1,394 @@
+"""The Section 3.6 storage layer: an indexed, rename-in-place wff store.
+
+The complexity analysis of GUA assumes a very specific physical design:
+
+  "all ground atomic formulas in the non-axiomatic section of T must appear
+   in indices, with one index per predicate, so that lookup and insertion
+   time is O(log R) ... all occurrences of a ground atomic formula or
+   predicate constant in the non-axiomatic section of T are linked together
+   in a list whose head is an index entry, so that renaming may be done
+   rapidly ... the names of ground atomic formulas cannot be physically
+   stored with the non-axiomatic wffs they appear in; [they] contain
+   pointers into a separate name space."
+
+:class:`WffStore` realizes that design in Python terms.  Stored wffs do not
+embed atoms; they embed :class:`AtomCell` references.  All occurrences of one
+atom in the store share a single cell (the "index entry heading the linked
+list"), so GUA Step 2's renaming of an atom to a fresh predicate constant is
+one cell assignment — O(1) — plus an O(log R) index move.  Per-predicate
+indexes use sorted containers to honour the O(log R) lookup model.
+
+Materializing back to immutable :class:`~repro.logic.syntax.Formula` values
+walks the stored tree and reads the cells, and is only done at API
+boundaries (world enumeration, printing, copying).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import TheoryError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.terms import AtomLike, GroundAtom, Predicate, PredicateConstant
+
+
+class AtomCell:
+    """Shared, mutable holder of an atom: the store's name-space entry.
+
+    ``occurrences`` counts how many leaf positions across all stored wffs
+    reference this cell — the length of the paper's linked occurrence list.
+    """
+
+    __slots__ = ("current", "occurrences")
+
+    def __init__(self, atom: AtomLike):
+        self.current = atom
+        self.occurrences = 0
+
+    def __repr__(self) -> str:
+        return f"AtomCell({self.current}, x{self.occurrences})"
+
+
+class _StoredNode:
+    """A node of a stored wff: a leaf holds an AtomCell, internal nodes hold
+    a connective tag and children.  Mirrors the Formula AST one-to-one."""
+
+    __slots__ = ("tag", "cell", "children")
+
+    def __init__(self, tag: str, cell: Optional[AtomCell] = None, children: Tuple["_StoredNode", ...] = ()):
+        self.tag = tag
+        self.cell = cell
+        self.children = children
+
+
+class StoredWff:
+    """One wff of the non-axiomatic section, in shared-cell representation."""
+
+    __slots__ = ("root", "store_id")
+
+    def __init__(self, root: _StoredNode, store_id: int):
+        self.root = root
+        self.store_id = store_id
+
+    def to_formula(self) -> Formula:
+        return _materialize(self.root)
+
+    def size(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+
+def _materialize(node: _StoredNode) -> Formula:
+    if node.tag == "top":
+        return Top()
+    if node.tag == "bottom":
+        return Bottom()
+    if node.tag == "atom":
+        assert node.cell is not None
+        return Atom(node.cell.current)
+    children = tuple(_materialize(child) for child in node.children)
+    if node.tag == "not":
+        return Not(children[0])
+    if node.tag == "and":
+        return And(children)
+    if node.tag == "or":
+        return Or(children)
+    if node.tag == "implies":
+        return Implies(children[0], children[1])
+    if node.tag == "iff":
+        return Iff(children[0], children[1])
+    raise TheoryError(f"corrupt stored node tag {node.tag!r}")
+
+
+class _SortedKeyList:
+    """A minimal sorted list with O(log n) membership and insertion point.
+
+    Sort keys are strings (atom renderings), which gives the deterministic
+    predicate-index ordering that completion axioms are rendered from.
+    """
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self):
+        self._keys: List[str] = []
+        self._values: List[AtomLike] = []
+
+    def add(self, atom: AtomLike) -> None:
+        key = str(atom)
+        where = bisect.bisect_left(self._keys, key)
+        if where < len(self._keys) and self._keys[where] == key:
+            return
+        self._keys.insert(where, key)
+        self._values.insert(where, atom)
+
+    def discard(self, atom: AtomLike) -> None:
+        key = str(atom)
+        where = bisect.bisect_left(self._keys, key)
+        if where < len(self._keys) and self._keys[where] == key:
+            del self._keys[where]
+            del self._values[where]
+
+    def __contains__(self, atom: AtomLike) -> bool:
+        key = str(atom)
+        where = bisect.bisect_left(self._keys, key)
+        return where < len(self._keys) and self._keys[where] == key
+
+    def __iter__(self) -> Iterator[AtomLike]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class WffStore:
+    """The indexed non-axiomatic section.
+
+    Responsibilities:
+
+    * intern every atom occurrence through a shared :class:`AtomCell`;
+    * maintain one sorted index per predicate (plus one for predicate
+      constants), giving O(log R) lookup and the live atom universe;
+    * O(1)-per-atom renaming for GUA Step 2;
+    * materialize wffs back to immutable formulas on demand.
+    """
+
+    def __init__(self):
+        self._wffs: List[StoredWff] = []
+        self._cells: Dict[AtomLike, List[AtomCell]] = {}
+        self._indexes: Dict[Predicate, _SortedKeyList] = {}
+        self._pc_index = _SortedKeyList()
+        self._next_id = 0
+        # Append-only per-predicate arrival log: lets derived indexes (e.g.
+        # the FD key index of Section 3.6) refresh incrementally in O(new
+        # atoms) instead of rescanning the store.  May contain atoms that
+        # have since left the store; consumers re-check contains_atom.
+        self._insertion_log: Dict[Predicate, List[GroundAtom]] = {}
+        #: Bumped on every mutation; lets derived caches (the theory's CNF
+        #: cache) detect staleness without subscriptions.
+        self.version = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._wffs)
+
+    def wffs(self) -> Tuple[StoredWff, ...]:
+        return tuple(self._wffs)
+
+    def formulas(self) -> Tuple[Formula, ...]:
+        return tuple(wff.to_formula() for wff in self._wffs)
+
+    def contains_atom(self, atom: AtomLike) -> bool:
+        """O(log R) membership: does *atom* occur in the stored section?"""
+        if isinstance(atom, PredicateConstant):
+            return atom in self._pc_index
+        index = self._indexes.get(atom.predicate)
+        return index is not None and atom in index
+
+    def predicate_atoms(self, predicate: Predicate) -> Tuple[GroundAtom, ...]:
+        """Atoms of one predicate, in index order (completion-axiom order)."""
+        index = self._indexes.get(predicate)
+        if index is None:
+            return ()
+        return tuple(index)  # type: ignore[arg-type]
+
+    def predicates(self) -> Tuple[Predicate, ...]:
+        return tuple(
+            sorted((p for p, idx in self._indexes.items() if len(idx)),)
+        )
+
+    def ground_atoms(self) -> FrozenSet[GroundAtom]:
+        """The atom universe: every ground atom occurring in the section."""
+        result = set()
+        for index in self._indexes.values():
+            result.update(index)
+        return frozenset(result)  # type: ignore[arg-type]
+
+    def predicate_constants(self) -> FrozenSet[PredicateConstant]:
+        return frozenset(self._pc_index)  # type: ignore[arg-type]
+
+    def insertion_log(
+        self, predicate: Predicate, start: int = 0
+    ) -> Tuple[GroundAtom, ...]:
+        """Arrival-ordered atoms of one predicate from position *start*
+        (may include departed atoms; re-check :meth:`contains_atom` before
+        relying on one).  Cost is O(returned entries)."""
+        return tuple(self._insertion_log.get(predicate, [])[start:])
+
+    def iter_predicate_atoms(self, predicate: Predicate) -> Iterator[GroundAtom]:
+        """Zero-copy iteration over one predicate's live atoms."""
+        index = self._indexes.get(predicate)
+        if index is None:
+            return iter(())
+        return iter(index)  # type: ignore[return-value]
+
+    def occurrence_count(self, atom: AtomLike) -> int:
+        return sum(cell.occurrences for cell in self._cells.get(atom, ()))
+
+    def max_predicate_population(self) -> int:
+        """The paper's R: greatest number of distinct atoms of any predicate."""
+        if not self._indexes:
+            return 0
+        return max(len(index) for index in self._indexes.values())
+
+    def size(self) -> int:
+        """Total stored nodes — the 'length of the theory' growth measure."""
+        return sum(wff.size() for wff in self._wffs)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add(self, formula: Formula) -> StoredWff:
+        """Store a wff, interning its atoms into shared cells."""
+        self.version += 1
+        root = self._intern(formula)
+        stored = StoredWff(root, self._next_id)
+        self._next_id += 1
+        self._wffs.append(stored)
+        return stored
+
+    def _intern(self, formula: Formula) -> _StoredNode:
+        if isinstance(formula, Top):
+            return _StoredNode("top")
+        if isinstance(formula, Bottom):
+            return _StoredNode("bottom")
+        if isinstance(formula, Atom):
+            cell = self._cell_for(formula.atom)
+            cell.occurrences += 1
+            return _StoredNode("atom", cell=cell)
+        if isinstance(formula, Not):
+            return _StoredNode("not", children=(self._intern(formula.operand),))
+        if isinstance(formula, And):
+            return _StoredNode(
+                "and", children=tuple(self._intern(op) for op in formula.operands)
+            )
+        if isinstance(formula, Or):
+            return _StoredNode(
+                "or", children=tuple(self._intern(op) for op in formula.operands)
+            )
+        if isinstance(formula, Implies):
+            return _StoredNode(
+                "implies",
+                children=(
+                    self._intern(formula.antecedent),
+                    self._intern(formula.consequent),
+                ),
+            )
+        if isinstance(formula, Iff):
+            return _StoredNode(
+                "iff",
+                children=(self._intern(formula.left), self._intern(formula.right)),
+            )
+        raise TheoryError(f"cannot store formula node {formula!r}")
+
+    def _cell_for(self, atom: AtomLike) -> AtomCell:
+        cells = self._cells.get(atom)
+        if cells:
+            return cells[0]
+        cell = AtomCell(atom)
+        self._cells[atom] = [cell]
+        self._index_add(atom)
+        return cell
+
+    def _index_add(self, atom: AtomLike) -> None:
+        if isinstance(atom, PredicateConstant):
+            self._pc_index.add(atom)
+        else:
+            self._indexes.setdefault(atom.predicate, _SortedKeyList()).add(atom)
+            self._insertion_log.setdefault(atom.predicate, []).append(atom)
+
+    def _index_discard(self, atom: AtomLike) -> None:
+        if isinstance(atom, PredicateConstant):
+            self._pc_index.discard(atom)
+        else:
+            index = self._indexes.get(atom.predicate)
+            if index is not None:
+                index.discard(atom)
+
+    def rename(self, old: AtomLike, new: AtomLike) -> int:
+        """Replace every occurrence of *old* by *new* — GUA Step 2.
+
+        Cost: O(log R) index operations plus O(#cells) pointer updates, which
+        is O(1) in GUA's usage (each atom has a single cell, and the target
+        is a fresh predicate constant).  Returns the number of occurrences
+        that were redirected.
+        """
+        cells = self._cells.pop(old, None)
+        if not cells:
+            return 0
+        self.version += 1
+        self._index_discard(old)
+        redirected = 0
+        for cell in cells:
+            cell.current = new
+            redirected += cell.occurrences
+        existing = self._cells.get(new)
+        if existing is None:
+            self._cells[new] = cells
+            self._index_add(new)
+        else:
+            existing.extend(cells)
+        return redirected
+
+    def remove(self, stored: StoredWff) -> None:
+        """Remove one stored wff, releasing its atom occurrences."""
+        try:
+            self._wffs.remove(stored)
+        except ValueError:
+            raise TheoryError("wff is not in this store") from None
+        self.version += 1
+        stack = [stored.root]
+        while stack:
+            node = stack.pop()
+            if node.cell is not None:
+                node.cell.occurrences -= 1
+                if node.cell.occurrences == 0:
+                    self._release_cell(node.cell)
+            stack.extend(node.children)
+
+    def _release_cell(self, cell: AtomCell) -> None:
+        cells = self._cells.get(cell.current)
+        if not cells:
+            return
+        try:
+            cells.remove(cell)
+        except ValueError:
+            return
+        if not cells:
+            del self._cells[cell.current]
+            self._index_discard(cell.current)
+
+    def replace_all(self, formulas) -> None:
+        """Swap the whole section for *formulas* (used by simplification)."""
+        self.version += 1
+        self._wffs.clear()
+        self._cells.clear()
+        self._indexes.clear()
+        self._pc_index = _SortedKeyList()
+        self._insertion_log.clear()
+        for formula in formulas:
+            self.add(formula)
+
+    def copy(self) -> "WffStore":
+        clone = WffStore()
+        for formula in self.formulas():
+            clone.add(formula)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"WffStore({len(self._wffs)} wffs, {len(self._cells)} atoms)"

@@ -1,0 +1,176 @@
+"""The language L of an extended relational theory, and its extensions.
+
+Section 2 fixes L as: an infinite variable pool (only used inside axioms), a
+constant set, finitely many predicates of arity >= 1, punctuation, the
+connectives, and an infinite set of predicate constants.  This module tracks
+the finite, material parts — which constants and predicates have been used —
+and hands out fresh predicate constants for GUA Step 2.
+
+Languages are *open* on constants: the paper allows a possibly infinite
+constant set, and Step 2' freely introduces constants that never appeared
+before.  Registering a constant is therefore never an error; the registry
+exists so unique-name axioms can be rendered and so workload generators can
+sample the active domain.
+
+Update equivalence (Section 3.4) is defined over L *and all extensions of L*;
+:meth:`Language.extended` builds such extensions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import LanguageError
+from repro.logic.syntax import Formula
+from repro.logic.terms import (
+    Constant,
+    GroundAtom,
+    Predicate,
+    PredicateConstant,
+)
+from repro.theory.schema import DatabaseSchema
+
+
+class Language:
+    """The material part of L: constants and predicates seen so far."""
+
+    def __init__(
+        self,
+        predicates: Iterable[Predicate] = (),
+        constants: Iterable[Constant] = (),
+        schema: Optional[DatabaseSchema] = None,
+        fresh_prefix: str = "@p",
+    ):
+        self._predicates: Dict[str, Predicate] = {}
+        self._constants: Dict[str, Constant] = {}
+        self._schema = schema
+        self._fresh_prefix = fresh_prefix
+        self._fresh_counter = itertools.count()
+        self._used_predicate_constants: set = set()
+        if schema is not None:
+            for relation in schema.relations():
+                self.add_predicate(relation.predicate)
+            for attribute in schema.attributes():
+                self.add_predicate(attribute.predicate)
+        for predicate in predicates:
+            self.add_predicate(predicate)
+        for constant in constants:
+            self.add_constant(constant)
+
+    # -- registration -----------------------------------------------------------
+
+    def add_predicate(self, predicate: Predicate) -> Predicate:
+        existing = self._predicates.get(predicate.name)
+        if existing is not None:
+            if existing != predicate:
+                raise LanguageError(
+                    f"predicate {predicate.name!r} already declared with "
+                    f"arity {existing.arity}, cannot redeclare with "
+                    f"arity {predicate.arity}"
+                )
+            return existing
+        self._predicates[predicate.name] = predicate
+        return predicate
+
+    def add_constant(self, constant: Constant) -> Constant:
+        return self._constants.setdefault(constant.name, constant)
+
+    def register_formula(self, formula: Formula) -> None:
+        """Record every predicate, constant, and predicate constant used."""
+        for atom in formula.atoms():
+            if isinstance(atom, GroundAtom):
+                self.add_predicate(atom.predicate)
+                for constant in atom.args:
+                    self.add_constant(constant)
+            elif isinstance(atom, PredicateConstant):
+                self.note_predicate_constant(atom)
+
+    def note_predicate_constant(self, pc: PredicateConstant) -> None:
+        self._used_predicate_constants.add(pc)
+
+    # -- lookup -------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Optional[DatabaseSchema]:
+        return self._schema
+
+    def predicates(self) -> Tuple[Predicate, ...]:
+        return tuple(self._predicates[name] for name in sorted(self._predicates))
+
+    def constants(self) -> Tuple[Constant, ...]:
+        return tuple(self._constants[name] for name in sorted(self._constants))
+
+    def predicate(self, name: str) -> Predicate:
+        try:
+            return self._predicates[name]
+        except KeyError:
+            raise LanguageError(f"unknown predicate {name!r}") from None
+
+    def has_predicate(self, predicate: Predicate) -> bool:
+        return self._predicates.get(predicate.name) == predicate
+
+    def used_predicate_constants(self) -> FrozenSet[PredicateConstant]:
+        return frozenset(self._used_predicate_constants)
+
+    # -- fresh symbols --------------------------------------------------------------
+
+    def fresh_predicate_constant(self) -> PredicateConstant:
+        """A predicate constant not previously appearing anywhere (Step 2)."""
+        while True:
+            candidate = PredicateConstant(
+                f"{self._fresh_prefix}{next(self._fresh_counter)}"
+            )
+            if candidate not in self._used_predicate_constants:
+                self._used_predicate_constants.add(candidate)
+                return candidate
+
+    # -- extension -------------------------------------------------------------------
+
+    def extended(
+        self,
+        predicates: Iterable[Predicate] = (),
+        constants: Iterable[Constant] = (),
+    ) -> "Language":
+        """A new language containing everything here plus the given symbols.
+
+        Used by the equivalence machinery: Section 3.4 requires equivalence
+        over all extensions of L (to rule out the "spurious equivalence" of
+        Section 3.5).
+        """
+        extension = Language(
+            predicates=self.predicates(),
+            constants=self.constants(),
+            schema=self._schema,
+            fresh_prefix=self._fresh_prefix,
+        )
+        for predicate in predicates:
+            extension.add_predicate(predicate)
+        for constant in constants:
+            extension.add_constant(constant)
+        for pc in self._used_predicate_constants:
+            extension.note_predicate_constant(pc)
+        return extension
+
+    def copy(self) -> "Language":
+        return self.extended()
+
+    # -- display ---------------------------------------------------------------------
+
+    def unique_name_axioms(self) -> Iterator[str]:
+        """Render the unique-name axioms ``!(c1 = c2)`` for display.
+
+        These are never stored (Section 2: "we would not actually store any
+        of these axioms"); they are realized operationally by constants
+        comparing equal iff their names match.
+        """
+        names = sorted(self._constants)
+        for i, left in enumerate(names):
+            for right in names[i + 1:]:
+                yield f"!({left} = {right})"
+
+    def __repr__(self) -> str:
+        return (
+            f"Language({len(self._predicates)} predicates, "
+            f"{len(self._constants)} constants)"
+        )

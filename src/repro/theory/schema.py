@@ -1,0 +1,219 @@
+"""Database schemas: attributes, relations, and their encoding as type axioms.
+
+Section 3.5 distinguishes a set ``A`` of unary predicates as *attributes* and
+encodes the schema with one type axiom per n-ary relation predicate::
+
+    forall x1..xn ( P(x1,..,xn) -> A1(x1) & ... & An(xn) )
+
+:class:`DatabaseSchema` is the structural object from which those axioms are
+derived mechanically (see :mod:`repro.theory.axioms`).  It also supplies the
+attribute-tagging helper the paper suggests a "type and dependency layer"
+would apply to INSERTs (turning ``INSERT R(a,b,c)`` into
+``INSERT R(a,b,c) & A1(a) & A2(b) & A3(c)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.logic.syntax import And, Atom, Formula
+from repro.logic.terms import GroundAtom, Predicate
+
+
+class Attribute:
+    """A unary predicate in the distinguished set A (e.g. ``PartNo``)."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "predicate", Predicate(name, 1))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Attribute is immutable")
+
+    @property
+    def name(self) -> str:
+        return self.predicate.name
+
+    def __call__(self, constant) -> GroundAtom:
+        return self.predicate(constant)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Attribute) and self.predicate == other.predicate
+
+    def __hash__(self) -> int:
+        return hash(("Attribute", self.predicate))
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r})"
+
+
+class RelationSchema:
+    """An n-ary relation with one attribute per column.
+
+    ``RelationSchema("Orders", ["OrderNo", "PartNo", "Quan"])`` mirrors the
+    paper's running example.
+    """
+
+    __slots__ = ("predicate", "attributes")
+
+    def __init__(self, name: str, attributes: Sequence[Attribute]):
+        attributes = tuple(
+            a if isinstance(a, Attribute) else Attribute(a) for a in attributes
+        )
+        if not attributes:
+            raise SchemaError(f"relation {name!r} needs at least one column")
+        object.__setattr__(self, "predicate", Predicate(name, len(attributes)))
+        object.__setattr__(self, "attributes", attributes)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("RelationSchema is immutable")
+
+    @property
+    def name(self) -> str:
+        return self.predicate.name
+
+    @property
+    def arity(self) -> int:
+        return self.predicate.arity
+
+    def __call__(self, *args) -> GroundAtom:
+        return self.predicate(*args)
+
+    def attribute_atoms(self, atom: GroundAtom) -> Tuple[GroundAtom, ...]:
+        """The atoms ``A_i(c_i)`` for a ground atom of this relation."""
+        if atom.predicate != self.predicate:
+            raise SchemaError(
+                f"atom {atom} does not belong to relation {self.name}"
+            )
+        return tuple(
+            attribute(constant)
+            for attribute, constant in zip(self.attributes, atom.args)
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self.predicate == other.predicate
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash(("RelationSchema", self.predicate, self.attributes))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(a.name for a in self.attributes)
+        return f"RelationSchema({self.name}({cols}))"
+
+
+class DatabaseSchema:
+    """The full schema: a set of relations sharing a pool of attributes.
+
+    Every attribute must appear in at least one relation (Section 3.5 item 4:
+    "each predicate in A must appear in one or more type axioms").
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema]):
+        self._relations: Dict[str, RelationSchema] = {}
+        for relation in relations:
+            if relation.name in self._relations:
+                raise SchemaError(f"duplicate relation {relation.name!r}")
+            self._relations[relation.name] = relation
+        self._attributes: Dict[str, Attribute] = {}
+        for relation in self._relations.values():
+            for attribute in relation.attributes:
+                existing = self._attributes.get(attribute.name)
+                if existing is not None and existing != attribute:
+                    raise SchemaError(
+                        f"attribute {attribute.name!r} redefined inconsistently"
+                    )
+                self._attributes[attribute.name] = attribute
+
+    # -- lookup ----------------------------------------------------------------
+
+    def relations(self) -> Tuple[RelationSchema, ...]:
+        return tuple(self._relations[name] for name in sorted(self._relations))
+
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return tuple(self._attributes[name] for name in sorted(self._attributes))
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def relation_of(self, predicate: Predicate) -> Optional[RelationSchema]:
+        candidate = self._relations.get(predicate.name)
+        if candidate is not None and candidate.predicate == predicate:
+            return candidate
+        return None
+
+    def is_attribute(self, predicate: Predicate) -> bool:
+        candidate = self._attributes.get(predicate.name)
+        return candidate is not None and candidate.predicate == predicate
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    # -- semantics ---------------------------------------------------------------
+
+    def type_obligations(self, atom: GroundAtom) -> Tuple[GroundAtom, ...]:
+        """The attribute atoms a true *atom* obliges (empty for attributes)."""
+        relation = self.relation_of(atom.predicate)
+        if relation is None:
+            return ()
+        return relation.attribute_atoms(atom)
+
+    def world_satisfies_types(self, true_atoms) -> bool:
+        """Check every relation tuple's attribute obligations in a world."""
+        true_set = frozenset(true_atoms)
+        for atom in true_set:
+            if not isinstance(atom, GroundAtom):
+                continue
+            for obligation in self.type_obligations(atom):
+                if obligation not in true_set:
+                    return False
+        return True
+
+    def tag_with_attributes(self, formula: Formula) -> Formula:
+        """The paper's suggested INSERT preprocessing (Section 3.5).
+
+        Conjoins ``A_i(c_i)`` for every relation atom in *formula* so the
+        update does not inadvertently remove worlds for type violations:
+        ``R(a,b,c)`` becomes ``R(a,b,c) & A1(a) & A2(b) & A3(c)``.
+        """
+        obligations = []
+        seen = set()
+        for atom in sorted(formula.ground_atoms()):
+            for obligation in self.type_obligations(atom):
+                if obligation not in seen:
+                    seen.add(obligation)
+                    obligations.append(Atom(obligation))
+        if not obligations:
+            return formula
+        return And([formula] + obligations)
+
+    def __repr__(self) -> str:
+        names = ", ".join(r.name for r in self.relations())
+        return f"DatabaseSchema({names})"
+
+
+def schema_from_dict(spec: Mapping[str, Sequence[str]]) -> DatabaseSchema:
+    """Build a schema from ``{"Orders": ["OrderNo", "PartNo", "Quan"], ...}``."""
+    attributes: Dict[str, Attribute] = {}
+
+    def attr(name: str) -> Attribute:
+        if name not in attributes:
+            attributes[name] = Attribute(name)
+        return attributes[name]
+
+    relations = [
+        RelationSchema(rel_name, [attr(a) for a in cols])
+        for rel_name, cols in spec.items()
+    ]
+    return DatabaseSchema(relations)

@@ -1,0 +1,211 @@
+"""Null values as Skolem constants (the Section 3 extension).
+
+"The algorithm can be extended to cover the case where null values appear in
+the theory as Skolem constants, in which case the theory may have an infinite
+set of models."  This module provides that extension in the standard finite
+way: a :class:`SkolemConstant` is a constant of *unknown* denotation, exempt
+from the unique-name axioms against ordinary constants.  Given a finite
+candidate domain, a theory with Skolem constants denotes the union, over all
+bindings of nulls to domain elements, of the worlds of each instantiated
+theory.
+
+The machinery is deliberately explicit: :class:`NullBinding` maps nulls to
+ordinary constants, :func:`instantiate` applies a binding to a formula, and
+:class:`SkolemTheory` wraps an :class:`ExtendedRelationalTheory` template and
+enumerates worlds across bindings.  GUA itself runs unchanged on each
+instantiation — which is precisely the sense in which the paper's algorithm
+"can be extended".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import LanguageError, TheoryError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.terms import Constant, GroundAtom
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+#: Reserved name prefix so nulls can never collide with user constants.
+SKOLEM_PREFIX = "null_"
+
+
+class SkolemConstant(Constant):
+    """A null value: a constant whose denotation is unknown.
+
+    Unlike ordinary constants, a Skolem constant may denote the same domain
+    element as any ordinary constant (no unique-name axiom applies between
+    them).  Names are forced to start with ``null_``.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, name: str):
+        if not name.startswith(SKOLEM_PREFIX):
+            name = SKOLEM_PREFIX + name
+        super().__init__(name)
+
+    @property
+    def is_null(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"SkolemConstant({self.name!r})"
+
+
+def is_null(constant: Constant) -> bool:
+    """True iff *constant* is a Skolem constant (null value)."""
+    return isinstance(constant, SkolemConstant) or constant.name.startswith(
+        SKOLEM_PREFIX
+    )
+
+
+class NullBinding(Mapping[SkolemConstant, Constant]):
+    """An assignment of ordinary constants to null values."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[SkolemConstant, Constant]):
+        pairs: Dict[SkolemConstant, Constant] = {}
+        for null, value in mapping.items():
+            if not is_null(null):
+                raise LanguageError(f"{null} is not a Skolem constant")
+            if is_null(value):
+                raise LanguageError(
+                    f"binding target {value} must be an ordinary constant"
+                )
+            pairs[null] = value
+        object.__setattr__(self, "_mapping", pairs)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("NullBinding is immutable")
+
+    def __getitem__(self, null):
+        return self._mapping[null]
+
+    def __iter__(self):
+        return iter(self._mapping)
+
+    def __len__(self):
+        return len(self._mapping)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(
+            self._mapping.items(), key=lambda kv: kv[0].name
+        ))
+        return f"NullBinding({body})"
+
+
+def nulls_in_atom(atom: GroundAtom) -> FrozenSet[Constant]:
+    return frozenset(c for c in atom.args if is_null(c))
+
+
+def nulls_in_formula(formula: Formula) -> FrozenSet[Constant]:
+    """Every Skolem constant appearing in *formula*."""
+    result = set()
+    for atom in formula.ground_atoms():
+        result.update(nulls_in_atom(atom))
+    return frozenset(result)
+
+
+def instantiate_atom(atom: GroundAtom, binding: NullBinding) -> GroundAtom:
+    """Replace bound nulls in *atom*'s arguments."""
+    if not nulls_in_atom(atom):
+        return atom
+    new_args = tuple(binding.get(c, c) for c in atom.args)
+    return GroundAtom(atom.predicate, new_args)
+
+
+def instantiate(formula: Formula, binding: NullBinding) -> Formula:
+    """Replace bound nulls throughout *formula*."""
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Atom):
+        atom = formula.atom
+        if isinstance(atom, GroundAtom):
+            return Atom(instantiate_atom(atom, binding))
+        return formula
+    if isinstance(formula, Not):
+        return Not(instantiate(formula.operand, binding))
+    if isinstance(formula, And):
+        return And(tuple(instantiate(op, binding) for op in formula.operands))
+    if isinstance(formula, Or):
+        return Or(tuple(instantiate(op, binding) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return Implies(
+            instantiate(formula.antecedent, binding),
+            instantiate(formula.consequent, binding),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            instantiate(formula.left, binding),
+            instantiate(formula.right, binding),
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+class SkolemTheory:
+    """A theory template whose formulas may mention null values.
+
+    ``alternative_worlds(domain)`` unions the worlds of every instantiation
+    of the nulls over *domain*.  The world set is finite for a finite
+    domain; the paper's "infinite set of models" arises when the domain is
+    left open, which callers model by growing the candidate domain.
+    """
+
+    def __init__(self, formulas: Iterable[Formula] = ()):
+        self._formulas: Tuple[Formula, ...] = tuple(formulas)
+
+    def add_formula(self, formula: Formula) -> None:
+        self._formulas = self._formulas + (formula,)
+
+    def formulas(self) -> Tuple[Formula, ...]:
+        return self._formulas
+
+    def nulls(self) -> Tuple[Constant, ...]:
+        result = set()
+        for formula in self._formulas:
+            result.update(nulls_in_formula(formula))
+        return tuple(sorted(result))
+
+    def bindings(self, domain: Sequence[Constant]) -> Iterator[NullBinding]:
+        """Every total binding of this theory's nulls into *domain*."""
+        nulls = self.nulls()
+        if not nulls:
+            yield NullBinding({})
+            return
+        if not domain:
+            raise TheoryError("cannot bind null values over an empty domain")
+        for combo in itertools.product(domain, repeat=len(nulls)):
+            yield NullBinding(dict(zip(nulls, combo)))
+
+    def instantiated(self, binding: NullBinding) -> ExtendedRelationalTheory:
+        """The ordinary extended relational theory for one binding."""
+        theory = ExtendedRelationalTheory()
+        for formula in self._formulas:
+            theory.add_formula(instantiate(formula, binding))
+        return theory
+
+    def alternative_worlds(
+        self, domain: Sequence[Constant]
+    ) -> FrozenSet[AlternativeWorld]:
+        """Union of worlds over all bindings — the null-value semantics."""
+        worlds = set()
+        for binding in self.bindings(domain):
+            worlds.update(self.instantiated(binding).alternative_worlds())
+        return frozenset(worlds)
+
+    def __repr__(self) -> str:
+        return f"SkolemTheory({len(self._formulas)} wffs, nulls={[str(n) for n in self.nulls()]})"

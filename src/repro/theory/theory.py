@@ -1,0 +1,302 @@
+"""The extended relational theory object (Section 2 + Section 3.5).
+
+An :class:`ExtendedRelationalTheory` owns:
+
+* a :class:`~repro.theory.language.Language` (constants/predicates seen, and
+  the fresh-predicate-constant supply for GUA Step 2);
+* an optional :class:`~repro.theory.schema.DatabaseSchema` whose type axioms
+  it derives;
+* a tuple of dependency axioms;
+* the *non-axiomatic section*: ground wffs held in the Section 3.6 indexed
+  store (:class:`~repro.theory.index.WffStore`).
+
+Unique-name and completion axioms are derived, never stored, per the paper.
+The completion-axiom invariant — a disjunct for atom f exists iff f appears
+in the theory — is maintained automatically because the derived axioms read
+the store's live indexes.
+
+Reasoning services (consistency, world enumeration/counting) compile the
+section to CNF via Tseitin (selector variables are predicate constants and
+therefore invisible) and run the DPLL enumerator with projection onto the
+ground-atom universe.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import TheoryError
+from repro.logic.allsat import iter_projected_models
+from repro.logic.cnf import Clause, tseitin
+from repro.logic.parser import parse
+from repro.logic.sat import Solver
+from repro.logic.syntax import Formula
+from repro.logic.terms import GroundAtom, Predicate, PredicateConstant
+from repro.theory.axioms import (
+    CompletionAxiom,
+    TypeAxiom,
+    derive_completion_axioms,
+    derive_type_axioms,
+)
+from repro.theory.dependencies import TemplateDependency
+from repro.theory.index import StoredWff, WffStore
+from repro.theory.language import Language
+from repro.theory.schema import DatabaseSchema
+from repro.theory.worlds import AlternativeWorld
+
+
+class ExtendedRelationalTheory:
+    """A database with incomplete information, as a logical theory."""
+
+    def __init__(
+        self,
+        language: Optional[Language] = None,
+        schema: Optional[DatabaseSchema] = None,
+        dependencies: Sequence[TemplateDependency] = (),
+        formulas: Iterable[Union[Formula, str]] = (),
+    ):
+        if language is None:
+            language = Language(schema=schema)
+        elif schema is not None and language.schema is not None and language.schema is not schema:
+            raise TheoryError("language and theory disagree on the schema")
+        self.language = language
+        self._schema = schema if schema is not None else language.schema
+        self._dependencies: Tuple[TemplateDependency, ...] = tuple(dependencies)
+        self._store = WffStore()
+        self._clause_cache: Tuple[int, Optional[Tuple[Clause, ...]]] = (-1, None)
+        for formula in formulas:
+            self.add_formula(formula)
+
+    # -- the non-axiomatic section -------------------------------------------------
+
+    def add_formula(self, formula: Union[Formula, str]) -> StoredWff:
+        """Append a ground wff to the non-axiomatic section.
+
+        Accepts concrete syntax for convenience.  Registers every symbol in
+        the language; the atom universe (and hence the derived completion
+        axioms) extends automatically.
+        """
+        if isinstance(formula, str):
+            formula = parse(formula)
+        if not isinstance(formula, Formula):
+            raise TheoryError(f"expected a ground wff, got {formula!r}")
+        self.language.register_formula(formula)
+        return self._store.add(formula)
+
+    def remove_wff(self, stored: StoredWff) -> None:
+        self._store.remove(stored)
+
+    def formulas(self) -> Tuple[Formula, ...]:
+        """The current non-axiomatic section as immutable formulas."""
+        return self._store.formulas()
+
+    def stored_wffs(self) -> Tuple[StoredWff, ...]:
+        return self._store.wffs()
+
+    def replace_formulas(self, formulas: Iterable[Formula]) -> None:
+        """Swap the whole non-axiomatic section (simplification hook).
+
+        Caller is responsible for logical equivalence; by the closing remark
+        of Section 3.4, logically equivalent sections have identical world
+        sets under all future updates.
+        """
+        formulas = tuple(formulas)
+        for formula in formulas:
+            self.language.register_formula(formula)
+        self._store.replace_all(formulas)
+        # Rebuilding the store resets its arrival log; derived caches (the
+        # FD key indexes, the GUA axiom-instance registry) would be stale.
+        for cache in ("_fd_key_indexes", "_axiom_instances"):
+            if hasattr(self, cache):
+                delattr(self, cache)
+
+    @property
+    def store(self) -> WffStore:
+        """The Section 3.6 indexed store (GUA operates directly on it)."""
+        return self._store
+
+    # -- derived structure -----------------------------------------------------------
+
+    @property
+    def schema(self) -> Optional[DatabaseSchema]:
+        return self._schema
+
+    @property
+    def dependencies(self) -> Tuple[TemplateDependency, ...]:
+        return self._dependencies
+
+    def add_dependency(self, dependency: TemplateDependency) -> None:
+        """Schema evolution hook ("a simple matter to extend", Section 3.5)."""
+        self._dependencies = self._dependencies + (dependency,)
+
+    def atom_universe(self) -> FrozenSet[GroundAtom]:
+        """Ground atoms represented in the (derived) completion axioms."""
+        return self._store.ground_atoms()
+
+    def predicate_atoms(self, predicate: Predicate) -> Tuple[GroundAtom, ...]:
+        return self._store.predicate_atoms(predicate)
+
+    def completion_axioms(self) -> Tuple[CompletionAxiom, ...]:
+        predicates = set(self._store.predicates())
+        predicates.update(p for p in self.language.predicates())
+        if self._schema is not None:
+            predicates.update(r.predicate for r in self._schema.relations())
+            predicates.update(a.predicate for a in self._schema.attributes())
+        return derive_completion_axioms(
+            sorted(predicates), self._store.predicate_atoms
+        )
+
+    def type_axioms(self) -> Tuple[TypeAxiom, ...]:
+        if self._schema is None:
+            return ()
+        return derive_type_axioms(self._schema)
+
+    def size(self) -> int:
+        """Total nodes in the non-axiomatic section (the growth measure)."""
+        return self._store.size()
+
+    def max_predicate_population(self) -> int:
+        """The paper's R."""
+        return self._store.max_predicate_population()
+
+    def statistics(self) -> Dict[str, int]:
+        """Health metrics: sizes an operator (or the E9 bench) watches.
+
+        Keys: ``wffs``, ``nodes``, ``ground_atoms``, ``predicate_constants``,
+        ``max_predicate_population`` (the paper's R), ``predicates``,
+        ``constants``, ``dependencies``.
+        """
+        return {
+            "wffs": len(self._store),
+            "nodes": self._store.size(),
+            "ground_atoms": len(self._store.ground_atoms()),
+            "predicate_constants": len(self._store.predicate_constants()),
+            "max_predicate_population": self._store.max_predicate_population(),
+            "predicates": len(self.language.predicates()),
+            "constants": len(self.language.constants()),
+            "dependencies": len(self._dependencies),
+        }
+
+    # -- reasoning ----------------------------------------------------------------------
+
+    def clauses(self) -> List[Clause]:
+        """CNF of the non-axiomatic section (Tseitin; selectors invisible).
+
+        Every ground atom of the universe is registered via a tautological
+        clause: an atom may occur in the section only in positions that fold
+        away (e.g. ``T -> f | T``), yet being represented in the completion
+        axioms it is *unconstrained*, not false — the solver must see it.
+
+        The encoding is cached against the store's version counter, so
+        query bursts between updates pay Tseitin once.  A fresh list is
+        returned each call (callers append their query clauses to it).
+        """
+        cached_version, cached = self._clause_cache
+        if cached is not None and cached_version == self._store.version:
+            return list(cached)
+        result: List[Clause] = []
+        for i, formula in enumerate(self._store.formulas()):
+            encoded = tseitin(formula, prefix=f"@ts{i}_")
+            result.extend(encoded.clauses)
+        for atom in self._store.ground_atoms():
+            result.append(frozenset(((atom, True), (atom, False))))
+        self._clause_cache = (self._store.version, tuple(result))
+        return result
+
+    def is_consistent(self) -> bool:
+        """Does the theory have at least one model?"""
+        return Solver(self.clauses()).solve(use_pure_literals=True) is not None
+
+    def alternative_worlds(
+        self, *, limit: Optional[int] = None
+    ) -> Iterator[AlternativeWorld]:
+        """Enumerate the theory's alternative worlds (distinct projections
+        of models onto the ground-atom universe)."""
+        universe = self.atom_universe()
+        for projection in iter_projected_models(
+            self.clauses(), universe, limit=limit
+        ):
+            yield AlternativeWorld(
+                atom for atom in universe if projection.get(atom, False)
+            )
+
+    def world_set(self) -> FrozenSet[AlternativeWorld]:
+        return frozenset(self.alternative_worlds())
+
+    def world_count(self, *, cap: Optional[int] = None) -> int:
+        count = 0
+        for _ in self.alternative_worlds(limit=cap):
+            count += 1
+        return count
+
+    def satisfies_axiom_invariant(self) -> bool:
+        """Check the Section 3.5 restriction: removing type and dependency
+        axioms must not change the models.
+
+        Type and dependency axioms only constrain ground atoms (they contain
+        no predicate constants), so the check reduces to: every alternative
+        world of the bare non-axiomatic section satisfies every derived type
+        axiom and every dependency axiom.
+        """
+        type_axioms = self.type_axioms()
+        for world in self.alternative_worlds():
+            for axiom in type_axioms:
+                if not axiom.holds_in_world(world.true_atoms):
+                    return False
+            for dependency in self._dependencies:
+                if not dependency.holds_in_world(world.true_atoms):
+                    return False
+        return True
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def copy(self) -> "ExtendedRelationalTheory":
+        clone = ExtendedRelationalTheory(
+            language=self.language.copy(),
+            schema=self._schema,
+            dependencies=self._dependencies,
+        )
+        for formula in self._store.formulas():
+            clone.add_formula(formula)
+        return clone
+
+    def fresh_predicate_constant(self) -> PredicateConstant:
+        """A predicate constant not previously appearing in the theory."""
+        while True:
+            candidate = self.language.fresh_predicate_constant()
+            if not self._store.contains_atom(candidate):
+                return candidate
+
+    def pretty(self) -> str:
+        """Multi-line rendering: derived axioms plus the stored section."""
+        lines: List[str] = []
+        axioms = [a for a in self.completion_axioms() if a.disjuncts]
+        if axioms:
+            lines.append("-- completion axioms (derived) --")
+            lines.extend(axiom.render() for axiom in axioms)
+        type_axioms = self.type_axioms()
+        if type_axioms:
+            lines.append("-- type axioms (derived) --")
+            lines.extend(axiom.render() for axiom in type_axioms)
+        if self._dependencies:
+            lines.append("-- dependency axioms --")
+            lines.extend(repr(d) for d in self._dependencies)
+        lines.append("-- non-axiomatic section --")
+        lines.extend(str(f) for f in self._store.formulas())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtendedRelationalTheory({len(self._store)} wffs, "
+            f"{len(self.atom_universe())} atoms)"
+        )

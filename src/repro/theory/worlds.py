@@ -1,0 +1,146 @@
+"""Alternative worlds.
+
+"An alternative world of a theory T is a set of truth valuations for all the
+ground atomic formulas of T of arity 1 or more, such that [the valuation]
+holds for some model M of T" (Section 2).  Predicate constants are invisible,
+so distinct models may represent the same world.
+
+:class:`AlternativeWorld` is the value type: a frozenset of the *true* ground
+atoms, with closed-world falsity for everything else.  Enumeration from a
+theory lives on the theory object itself; this module holds the world type
+plus set-level helpers shared by the naive baseline and the test oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import Formula
+from repro.logic.terms import Constant, GroundAtom, Predicate
+from repro.logic.valuation import Valuation
+
+
+class AlternativeWorld:
+    """One complete-information database snapshot."""
+
+    __slots__ = ("true_atoms", "_hash")
+
+    def __init__(self, true_atoms: Iterable[GroundAtom] = ()):
+        atoms = frozenset(true_atoms)
+        for atom in atoms:
+            if not isinstance(atom, GroundAtom):
+                raise TypeError(
+                    f"worlds contain ground atoms only, got {atom!r} "
+                    "(predicate constants are invisible in alternative worlds)"
+                )
+        object.__setattr__(self, "true_atoms", atoms)
+        object.__setattr__(self, "_hash", hash(atoms))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("AlternativeWorld is immutable")
+
+    # -- truth -----------------------------------------------------------------
+
+    def holds(self, atom: GroundAtom) -> bool:
+        return atom in self.true_atoms
+
+    def satisfies(self, formula: Formula) -> bool:
+        """Closed-world satisfaction of a ground wff *without* predicate
+        constants.  (Formulas with predicate constants are about models, not
+        worlds; evaluating them here would be a category error, so they are
+        treated as unassigned-and-false, matching how a "fresh" predicate
+        constant behaves before any wff constrains it.)"""
+        return evaluate(formula, _WorldView(self.true_atoms))
+
+    def as_valuation(self, universe: Iterable[GroundAtom]) -> Valuation:
+        """Total valuation over *universe* (atoms outside self are False)."""
+        return Valuation(
+            {atom: atom in self.true_atoms for atom in universe}
+        )
+
+    # -- relational views ----------------------------------------------------------
+
+    def relation(self, predicate: Predicate) -> Tuple[Tuple[Constant, ...], ...]:
+        """The tuples of one relation, sorted — a classic table snapshot."""
+        rows = sorted(
+            atom.args for atom in self.true_atoms if atom.predicate == predicate
+        )
+        return tuple(rows)
+
+    def predicates(self) -> Tuple[Predicate, ...]:
+        return tuple(sorted({atom.predicate for atom in self.true_atoms}))
+
+    # -- algebra ---------------------------------------------------------------------
+
+    def with_atom(self, atom: GroundAtom, value: bool) -> "AlternativeWorld":
+        """Copy with one atom's truth value changed."""
+        if value:
+            return AlternativeWorld(self.true_atoms | {atom})
+        return AlternativeWorld(self.true_atoms - {atom})
+
+    def updated(self, assignment: Dict[GroundAtom, bool]) -> "AlternativeWorld":
+        """Copy with several atoms reassigned."""
+        added = {a for a, v in assignment.items() if v}
+        removed = {a for a, v in assignment.items() if not v}
+        return AlternativeWorld((self.true_atoms - removed) | added)
+
+    # -- identity ---------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, AlternativeWorld)
+            and self.true_atoms == other.true_atoms
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self.true_atoms)
+
+    def __iter__(self) -> Iterator[GroundAtom]:
+        return iter(sorted(self.true_atoms))
+
+    def __repr__(self) -> str:
+        if not self.true_atoms:
+            return "World{}"
+        body = ", ".join(str(atom) for atom in sorted(self.true_atoms))
+        return f"World{{{body}}}"
+
+
+class _WorldView:
+    """Read-only mapping view of a world for the evaluator (atoms -> bool)."""
+
+    __slots__ = ("_true",)
+
+    def __init__(self, true_atoms: FrozenSet[GroundAtom]):
+        self._true = true_atoms
+
+    def __contains__(self, atom) -> bool:
+        return isinstance(atom, GroundAtom)
+
+    def __getitem__(self, atom) -> bool:
+        return atom in self._true
+
+
+EMPTY_WORLD = AlternativeWorld()
+
+
+def world_set(worlds: Iterable[AlternativeWorld]) -> FrozenSet[AlternativeWorld]:
+    """Materialize an iterable of worlds as a set (dedup included)."""
+    return frozenset(worlds)
+
+
+def worlds_equal(
+    left: Iterable[AlternativeWorld], right: Iterable[AlternativeWorld]
+) -> bool:
+    """Set equality of world collections — the commutative-diagram check."""
+    return frozenset(left) == frozenset(right)
+
+
+def restrict_worlds(
+    worlds: Iterable[AlternativeWorld], predicate: Predicate
+) -> FrozenSet[Tuple[Tuple[Constant, ...], ...]]:
+    """Each world's snapshot of one relation — for table-style display."""
+    return frozenset(world.relation(predicate) for world in worlds)

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.logic.parser import parse, parse_atom
+from repro.logic.terms import Constant, GroundAtom, Predicate
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+
+@pytest.fixture
+def R():
+    """A unary predicate for abstract examples (the paper's a, b, c...)."""
+    return Predicate("R", 1)
+
+
+@pytest.fixture
+def abc(R):
+    """The atoms R(a), R(b), R(c) — the paper's abstract tuples."""
+    return R("a"), R("b"), R("c")
+
+
+@pytest.fixture
+def paper_theory():
+    """The worked example's theory: non-axiomatic section {a, a|b}."""
+    theory = ExtendedRelationalTheory()
+    theory.add_formula("R(a)")
+    theory.add_formula("R(a) | R(b)")
+    return theory
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20260705)
+
+
+def world(*atom_texts: str) -> AlternativeWorld:
+    """Shorthand world constructor from atom syntax."""
+    return AlternativeWorld([parse_atom(text) for text in atom_texts])
+
+
+def worlds(*atom_text_tuples) -> frozenset:
+    return frozenset(world(*texts) for texts in atom_text_tuples)

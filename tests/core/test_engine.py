@@ -1,0 +1,149 @@
+"""Unit tests for the Database façade."""
+
+import pytest
+
+from repro.core.engine import Database
+from repro.errors import InconsistentTheoryError, QueryError
+from repro.theory.dependencies import FunctionalDependency
+from repro.logic.terms import Predicate
+from repro.theory.schema import schema_from_dict
+
+
+@pytest.fixture
+def schema():
+    return schema_from_dict(
+        {"Orders": ["OrderNo", "PartNo", "Quan"], "InStock": ["PartNo", "Quan"]}
+    )
+
+
+class TestUpdates:
+    def test_insert_then_ask(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        assert db.is_certain("P(a)")
+
+    def test_disjunctive_insert_possible(self):
+        db = Database()
+        db.update("INSERT P(a) | P(b) WHERE T")
+        answer = db.ask("P(a)")
+        assert answer.status == "possible"
+        assert db.is_certain("P(a) | P(b)")
+
+    def test_assert_resolves_uncertainty(self):
+        db = Database()
+        db.update("INSERT P(a) | P(b) WHERE T")
+        db.update("ASSERT P(a)")
+        assert db.is_certain("P(a)")
+
+    def test_run_script(self):
+        db = Database()
+        db.run_script("INSERT P(a); DELETE P(a) WHERE T; INSERT P(b)")
+        assert not db.is_possible("P(a)")
+        assert db.is_certain("P(b)")
+
+    def test_update_objects_accepted(self):
+        from repro.ldml.ast import Insert
+
+        db = Database()
+        db.update(Insert("P(a)"))
+        assert db.is_certain("P(a)")
+
+    def test_log_grows(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        db.update("INSERT P(b) WHERE T")
+        assert len(db.transactions.log) == 2
+
+
+class TestAutoTagging:
+    def test_insert_tagged_with_attributes(self, schema):
+        db = Database(schema=schema)
+        db.update("INSERT Orders(700,32,9) WHERE T")
+        assert db.is_certain("Orders(700,32,9)")
+        assert db.is_certain("OrderNo(700) & PartNo(32) & Quan(9)")
+
+    def test_tagging_disabled(self, schema):
+        db = Database(schema=schema, auto_tag=False)
+        db.update("INSERT Orders(700,32,9) WHERE T")
+        # Untagged insert violates the type axiom in produced worlds:
+        assert not db.is_possible("Orders(700,32,9)")
+
+    def test_no_schema_no_tagging(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        assert db.is_certain("P(a)")
+
+
+class TestQueries:
+    def test_three_valued_answers(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        db.update("INSERT P(b) | P(c) WHERE T")
+        assert db.ask("P(a)").status == "certain"
+        assert db.ask("P(b)").status == "possible"
+        assert db.ask("P(zz)").status == "impossible"
+
+    def test_select(self, schema):
+        db = Database(schema=schema)
+        db.update("INSERT Orders(700,32,9) WHERE T")
+        db.update("INSERT Orders(800,33,1) | Orders(801,33,1) WHERE T")
+        rows = db.select("Orders")
+        statuses = {row.values(): row.status for row in rows}
+        assert statuses[("700", "32", "9")] == "certain"
+        assert statuses[("800", "33", "1")] == "possible"
+
+    def test_queries_reject_predicate_constants(self):
+        db = Database()
+        with pytest.raises(QueryError):
+            db.ask("@p0")
+
+    def test_worlds_view(self):
+        db = Database()
+        db.update("INSERT P(a) | P(b) WHERE T")
+        assert len(db.worlds()) == 3
+        assert db.world_count() == 3
+
+    def test_consistency_check(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        db.update("ASSERT !P(a)")
+        assert not db.is_consistent()
+        with pytest.raises(InconsistentTheoryError):
+            db.check_consistent()
+
+
+class TestMaintenance:
+    def test_manual_simplify(self):
+        db = Database()
+        for i in range(4):
+            db.update(f"INSERT P(x{i}) | P(y{i}) WHERE T")
+        before = db.size()
+        report = db.simplify()
+        assert db.size() <= before
+        assert report.size_after == db.size()
+
+    def test_auto_simplify_bounds_size(self):
+        db_plain = Database()
+        db_auto = Database(simplify_every=2)
+        for _ in range(8):
+            db_plain.update("INSERT P(a) WHERE T")
+            db_plain.update("INSERT !P(a) WHERE T")
+            db_auto.update("INSERT P(a) WHERE T")
+            db_auto.update("INSERT !P(a) WHERE T")
+        assert db_auto.size() < db_plain.size()
+        assert db_auto.theory.world_set() == db_plain.theory.world_set()
+
+    def test_simplify_preserves_answers(self, schema):
+        db = Database(schema=schema)
+        db.update("INSERT Orders(700,32,9) | Orders(700,32,8) WHERE T")
+        before = (db.ask("Orders(700,32,9)").status, db.world_count())
+        db.simplify()
+        assert (db.ask("Orders(700,32,9)").status, db.world_count()) == before
+
+    def test_dependencies_enforced_through_facade(self):
+        E = Predicate("E", 2)
+        db = Database(dependencies=[FunctionalDependency(E, [0], [1])])
+        db.update("INSERT E(k,v1) WHERE T")
+        db.update("INSERT E(k,v2) WHERE T")
+        # The FD leaves no world holding both values.
+        assert not db.is_possible("E(k,v1) & E(k,v2)")

@@ -1,0 +1,105 @@
+"""Error-path and edge-case tests for the Database façade."""
+
+import pytest
+
+from repro.core.engine import Database
+from repro.errors import (
+    NotGroundError,
+    ParseError,
+    QueryError,
+    ReproError,
+    UpdateError,
+)
+
+
+class TestUpdateErrors:
+    def test_malformed_statement(self):
+        db = Database()
+        with pytest.raises(ParseError):
+            db.update("FROBNICATE P(a)")
+
+    def test_predicate_constant_in_update(self):
+        db = Database()
+        with pytest.raises(NotGroundError):
+            db.update("INSERT @p0 WHERE T")
+
+    def test_open_update_without_range(self):
+        db = Database()
+        with pytest.raises(UpdateError):
+            db.update("INSERT Nope(?x) WHERE Missing(?x)")
+
+    def test_errors_leave_log_untouched(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        with pytest.raises(ReproError):
+            db.update("INSERT @p0 WHERE T")
+        assert len(db.transactions.log) == 1
+
+
+class TestQueryErrors:
+    def test_predicate_constant_query(self):
+        db = Database()
+        with pytest.raises(QueryError):
+            db.ask("@internal")
+
+    def test_malformed_query(self):
+        db = Database()
+        with pytest.raises(ParseError):
+            db.ask("P(a) &")
+
+    def test_unknown_relation_select(self):
+        db = Database()
+        with pytest.raises(QueryError):
+            db.select("Ghost")
+
+
+class TestInconsistentStateBehaviour:
+    def test_updates_still_accepted(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        db.update("ASSERT !P(a)")
+        assert not db.is_consistent()
+        # Further updates parse and apply (on zero worlds):
+        db.update("INSERT P(b) WHERE T")
+        assert not db.is_consistent()
+        assert db.world_count() == 0
+
+    def test_queries_on_inconsistent(self):
+        db = Database()
+        db.update("INSERT F WHERE T")
+        assert db.ask("P(a)").certain       # vacuously
+        assert not db.ask("P(a)").possible
+
+    def test_rollback_recovers(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        db.savepoint("good")
+        db.update("ASSERT !P(a)")
+        assert not db.is_consistent()
+        db.rollback("good")
+        assert db.is_consistent()
+        assert db.is_certain("P(a)")
+
+
+class TestEmptyDatabase:
+    def test_fresh_database_one_world(self):
+        db = Database()
+        assert db.world_count() == 1
+        assert db.worlds()[0].true_atoms == frozenset()
+
+    def test_query_unknown_atom(self):
+        db = Database()
+        assert db.ask("P(a)").status == "impossible"
+        assert db.ask("!P(a)").status == "certain"
+
+    def test_select_on_empty(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        db.update("DELETE P(a) WHERE T")
+        assert db.select("P") == []
+        assert db.select("P", include_impossible=True) != []
+
+    def test_simplify_empty(self):
+        db = Database()
+        report = db.simplify()
+        assert report.size_before == report.size_after == 0

@@ -1,0 +1,378 @@
+"""Unit tests for algorithm GUA — the paper's contribution.
+
+The headline properties (Theorems 1 and 5) are tested via the commutative
+diagram against the naive per-world semantics, on the paper's worked
+examples, on systematic small cases, and on randomized streams.  Step-level
+behavior is pinned down separately so regressions localize.
+"""
+
+import random
+
+import pytest
+
+from repro.core.gua import GuaExecutor, gua_run_script, gua_update
+from repro.core.naive import NaiveWorldStore, commutes
+from repro.errors import UpdateError
+from repro.ldml.ast import Insert
+from repro.logic.parser import parse, parse_atom
+from repro.logic.printer import to_text
+from repro.logic.terms import Predicate
+from repro.theory.dependencies import FunctionalDependency, InclusionDependency
+from repro.theory.schema import schema_from_dict
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+P = Predicate("P", 1)
+R = Predicate("R", 1)
+a, b, c, a_prime = R("a"), R("b"), R("c"), R("a'")
+
+
+@pytest.fixture
+def paper_theory():
+    theory = ExtendedRelationalTheory()
+    theory.add_formula("R(a)")
+    theory.add_formula("R(a) | R(b)")
+    return theory
+
+
+class TestPaperWorkedExamples:
+    def test_branching_insert(self, paper_theory):
+        """Section 3.3: INSERT c|a WHERE b&a on {a, a|b} -> four worlds."""
+        gua_update(paper_theory, "INSERT R(c) | R(a) WHERE R(b) & R(a)")
+        assert paper_theory.world_set() == {
+            AlternativeWorld([a]),
+            AlternativeWorld([b, c]),
+            AlternativeWorld([b, a]),
+            AlternativeWorld([b, c, a]),
+        }
+
+    def test_branching_insert_intermediate_theory_shape(self, paper_theory):
+        """The final theory matches the paper's displayed wff list."""
+        result = gua_update(paper_theory, "INSERT R(c) | R(a) WHERE R(b) & R(a)")
+        texts = [to_text(f) for f in paper_theory.formulas()]
+        p_a = result.fresh_constants[a]
+        p_c = result.fresh_constants[c]
+        assert texts[0] == str(p_a)                       # p_a
+        assert texts[1] == f"{p_a} | R(b)"                # p_a | b
+        assert texts[2] == f"!{p_c}"                      # !p_c   (Step 1+2)
+        assert texts[3] == f"R(b) & {p_a} -> R(c) | R(a)"  # Step 3
+        assert "<->" in texts[4]                          # Step 4
+
+    def test_non_branching_modify(self, paper_theory):
+        """Section 3.3: MODIFY a TO BE a' WHERE b&a on {a, a|b}."""
+        gua_update(paper_theory, "MODIFY R(a) TO BE R(a') WHERE R(b)")
+        assert paper_theory.world_set() == {
+            AlternativeWorld([b, a_prime]),
+            AlternativeWorld([a]),
+        }
+
+    def test_step1_example_completion_extension(self):
+        """Step 1 example: both disjuncts added to Orders' completion axiom."""
+        theory = ExtendedRelationalTheory()
+        gua_update(
+            theory, "INSERT Orders(700,32,9) | Orders(700,32,8) WHERE T"
+        )
+        orders = theory.language.predicate("Orders")
+        assert set(theory.predicate_atoms(orders)) == {
+            parse_atom("Orders(700,32,9)"),
+            parse_atom("Orders(700,32,8)"),
+        }
+
+
+class TestSteps:
+    def test_step1_adds_negative_facts_for_new_atoms(self):
+        theory = ExtendedRelationalTheory(formulas=["R(a)"])
+        result = gua_update(theory, Insert("R(b)", "R(zz)"))
+        # R(b) and R(zz) were new; each got !f before the rename.
+        assert result.stats.completion_additions == 2
+
+    def test_step1_skips_known_atoms(self, paper_theory):
+        result = gua_update(paper_theory, Insert("R(a)", "R(b)"))
+        assert result.stats.completion_additions == 0
+
+    def test_step2_renames_all_body_atoms(self, paper_theory):
+        result = gua_update(paper_theory, Insert("R(a) & R(b)"))
+        assert set(result.fresh_constants) == {a, b}
+        assert result.stats.renamed_atoms == 2
+        # a occurred twice, b once — all three redirected.
+        assert result.stats.renamed_occurrences >= 3
+
+    def test_step2_fresh_constants_unused_before(self, paper_theory):
+        paper_theory.add_formula("@p0")  # occupy the obvious name
+        result = gua_update(paper_theory, Insert("R(a)"))
+        assert str(result.fresh_constants[a]) != "@p0"
+
+    def test_step3_formula_present(self, paper_theory):
+        result = gua_update(paper_theory, Insert("R(c)", "R(a)"))
+        sigma_phi = result.substitution.apply(parse("R(a)"))
+        expected = f"{to_text(sigma_phi)} -> R(c)"
+        assert expected in [to_text(f) for f in paper_theory.formulas()]
+
+    def test_step4_combined_restriction(self, paper_theory):
+        gua_update(paper_theory, Insert("R(a) & R(b)", "R(c)"))
+        restrict = [f for f in paper_theory.formulas() if "<->" in to_text(f)]
+        assert len(restrict) == 1  # combined into one implication
+
+    def test_step4_separate_restriction(self, paper_theory):
+        executor = GuaExecutor(paper_theory, combine_restrict=False)
+        executor.apply(Insert("R(a) & R(b)", "R(c)"))
+        restrict = [f for f in paper_theory.formulas() if "<->" in to_text(f)]
+        assert len(restrict) == 2
+
+    def test_statistics_g(self):
+        theory = ExtendedRelationalTheory()
+        result = gua_update(theory, Insert("R(a) | R(a)", "R(b)"))
+        assert result.stats.g == 3  # instances, not distinct atoms
+
+    def test_rejects_predicate_constants_in_update(self, paper_theory):
+        with pytest.raises(Exception):
+            gua_update(paper_theory, "INSERT @p0 WHERE T")
+
+    def test_invalid_entailment_mode(self, paper_theory):
+        with pytest.raises(UpdateError):
+            GuaExecutor(paper_theory, entailment_mode="psychic")
+
+
+class TestCommutativeDiagramSystematic:
+    """Theorem 1 on exhaustive small instances."""
+
+    BODIES = ["R(a)", "!R(a)", "R(a) | R(b)", "R(a) & R(b)", "T", "F",
+              "R(a) -> R(b)", "R(a) | !R(a)"]
+    CLAUSES = ["T", "R(a)", "R(b) & R(a)", "!R(b)"]
+    SECTIONS = [
+        [],
+        ["R(a)"],
+        ["R(a)", "R(a) | R(b)"],
+        ["R(a) | R(b) | R(c)"],
+        ["!R(a)", "R(b) <-> R(c)"],
+    ]
+
+    @pytest.mark.parametrize("section", range(len(SECTIONS)))
+    def test_all_insert_combinations(self, section):
+        for body in self.BODIES:
+            for clause in self.CLAUSES:
+                theory = ExtendedRelationalTheory(
+                    formulas=self.SECTIONS[section]
+                )
+                update = Insert(body, clause)
+                assert commutes(theory, [update]), (section, body, clause)
+
+    def test_update_sequences(self):
+        theory = ExtendedRelationalTheory(formulas=["R(a)", "R(a) | R(b)"])
+        script = [
+            "INSERT R(c) | R(a) WHERE R(b) & R(a)",
+            "DELETE R(b) WHERE T",
+            "MODIFY R(c) TO BE R(a) WHERE T",
+            "ASSERT R(a)",
+        ]
+        for length in range(1, len(script) + 1):
+            assert commutes(theory, script[:length]), script[:length]
+
+    def test_update_on_inconsistent_theory(self):
+        theory = ExtendedRelationalTheory(formulas=["R(a)", "!R(a)"])
+        assert commutes(theory, ["INSERT R(b) WHERE T"])
+
+
+class TestCommutativeDiagramRandomized:
+    def test_random_streams(self):
+        from repro.bench.workload import atom_pool, random_theory, update_stream
+
+        rng = random.Random(99)
+        atoms = atom_pool(4)
+        for _ in range(25):
+            theory = random_theory(rng, n_atoms=4, n_wffs=2)
+            updates = update_stream(rng, atoms, rng.randint(1, 3))
+            assert commutes(theory, updates), [repr(u) for u in updates]
+
+    def test_repeated_updates_to_same_atom(self):
+        theory = ExtendedRelationalTheory(formulas=["R(a) | R(b)"])
+        script = ["INSERT !R(a) WHERE T", "INSERT R(a) WHERE T",
+                  "INSERT R(a) | R(b) WHERE R(a)"]
+        assert commutes(theory, script)
+
+
+class TestTypeAxioms:
+    @pytest.fixture
+    def schema(self):
+        return schema_from_dict({"Rel": ["A", "B"]})
+
+    def test_tagged_insert_commutes(self, schema):
+        theory = ExtendedRelationalTheory(schema=schema)
+        theory.add_formula("Rel(x,y) & A(x) & B(y)")
+        assert commutes(theory, ["INSERT Rel(u,v) & A(u) & B(v) WHERE T"])
+
+    def test_untagged_insert_commutes(self, schema):
+        # Untagged: new worlds violate the type axiom and must vanish.
+        theory = ExtendedRelationalTheory(schema=schema)
+        theory.add_formula("Rel(x,y) & A(x) & B(y)")
+        assert commutes(theory, ["INSERT Rel(u,v) WHERE T"])
+        # And indeed the insert produced nothing new:
+        gua_update(theory, "INSERT Rel(u,v) WHERE T")
+        assert all(
+            not w.satisfies(parse("Rel(u,v)"))
+            for w in theory.alternative_worlds()
+        )
+
+    def test_attribute_deletion_commutes(self, schema):
+        theory = ExtendedRelationalTheory(schema=schema)
+        theory.add_formula("Rel(x,y) & A(x) & B(y)")
+        assert commutes(theory, ["DELETE A(x) WHERE T"])
+
+    def test_step5_instance_added_for_attribute_deletion(self, schema):
+        theory = ExtendedRelationalTheory(schema=schema)
+        theory.add_formula("Rel(x,y) & A(x) & B(y)")
+        result = gua_update(theory, "DELETE A(x) WHERE T")
+        assert result.stats.type_instances >= 1
+
+    def test_full_entailment_mode_commutes(self, schema):
+        theory = ExtendedRelationalTheory(schema=schema)
+        theory.add_formula("Rel(x,y) & A(x) & B(y)")
+        assert commutes(
+            theory,
+            ["INSERT Rel(u,v) & (A(u) | A(u)) & B(v) WHERE T"],
+            entailment_mode="full",
+        )
+
+    def test_step2_prime_attribute_completion(self, schema):
+        theory = ExtendedRelationalTheory(schema=schema)
+        result = gua_update(theory, "INSERT Rel(u,v) & A(u) & B(v) WHERE T")
+        A = Predicate("A", 1)
+        assert A("u") in theory.atom_universe()
+
+
+class TestDependencyAxioms:
+    def test_fd_conflict_excluded(self):
+        E = Predicate("E", 2)
+        fd = FunctionalDependency(E, [0], [1])
+        theory = ExtendedRelationalTheory(dependencies=[fd])
+        theory.add_formula("E(k,v1)")
+        assert commutes(theory, ["INSERT E(k,v2) WHERE T"])
+        gua_update(theory, "INSERT E(k,v2) WHERE T")
+        for world in theory.alternative_worlds():
+            assert not (
+                world.satisfies(parse("E(k,v1)"))
+                and world.satisfies(parse("E(k,v2)"))
+            )
+
+    def test_inclusion_dependency_commutes(self):
+        Pp, Qq = Predicate("Pp", 1), Predicate("Qq", 1)
+        ind = InclusionDependency(Pp, [0], Qq, [0])
+        theory = ExtendedRelationalTheory(dependencies=[ind])
+        theory.add_formula("Qq(a)")
+        theory.add_formula("Pp(a)")
+        for script in (
+            ["INSERT Pp(b) & Qq(b) WHERE T"],
+            ["INSERT Pp(c) WHERE T"],
+            ["DELETE Qq(a) WHERE T"],
+            ["DELETE Qq(a) WHERE T", "INSERT Qq(a) WHERE T"],
+        ):
+            assert commutes(theory, script), script
+
+    def test_step6_instances_counted(self):
+        E = Predicate("E", 2)
+        fd = FunctionalDependency(E, [0], [1])
+        theory = ExtendedRelationalTheory(dependencies=[fd])
+        theory.add_formula("E(k,v1)")
+        result = gua_update(theory, "INSERT E(k,v2) WHERE T")
+        assert result.stats.dependency_instances >= 1
+
+    def test_incremental_and_full_grounding_agree(self):
+        E = Predicate("E", 2)
+        fd = FunctionalDependency(E, [0], [1])
+        base = ExtendedRelationalTheory(dependencies=[fd])
+        base.add_formula("E(k,v1)")
+        incremental = base.copy()
+        full = base.copy()
+        gua_update(incremental, "INSERT E(k,v2) WHERE T")
+        gua_update(full, "INSERT E(k,v2) WHERE T", incremental_dependencies=False)
+        assert incremental.world_set() == full.world_set()
+
+    def test_step7_closes_new_dependency_atoms(self):
+        # Inserting P(b) under P ⊆ Q instantiates P(b) -> Q(b); Q(b) is new
+        # and must be pinned false by Step 7 (Lemma 1).
+        Pp, Qq = Predicate("Pp", 1), Predicate("Qq", 1)
+        ind = InclusionDependency(Pp, [0], Qq, [0])
+        theory = ExtendedRelationalTheory(dependencies=[ind])
+        theory.add_formula("Pp(a) & Qq(a)")
+        gua_update(theory, "INSERT Pp(b) WHERE T")
+        assert Qq("b") in theory.atom_universe()
+        # Q(b) false everywhere, hence P(b) impossible:
+        for world in theory.alternative_worlds():
+            assert not world.satisfies(parse("Qq(b)"))
+            assert not world.satisfies(parse("Pp(b)"))
+
+
+class TestScriptRunner:
+    def test_gua_run_script_returns_results(self, paper_theory):
+        results = gua_run_script(
+            paper_theory, ["INSERT R(c) WHERE T", "DELETE R(c) WHERE T"]
+        )
+        assert len(results) == 2
+
+    def test_theory_grows_linearly(self, paper_theory):
+        sizes = [paper_theory.size()]
+        for i in range(5):
+            gua_update(paper_theory, f"INSERT R(z{i}) WHERE R(a)")
+            sizes.append(paper_theory.size())
+        deltas = [sizes[i + 1] - sizes[i] for i in range(5)]
+        # O(g) growth per update: deltas bounded by a constant here.
+        assert max(deltas) <= 20
+
+
+class TestMultivaluedDependencyDiagram:
+    """Theorem 5 for MVDs — from invariant-satisfying starting points.
+
+    (From a theory *violating* the Section 3.5 invariant the diagram need
+    not commute: rule 3 filters pre-existing violations among untouched
+    atoms that the incremental Steps 5/6 are not required to see.  That is
+    the paper's precondition, documented in repro.core.gua.)
+    """
+
+    def _closed_theory(self):
+        from repro.theory.dependencies import MultivaluedDependency
+
+        R3 = Predicate("R3", 3)
+        mvd = MultivaluedDependency(R3, [0], [1])
+        theory = ExtendedRelationalTheory(dependencies=[mvd])
+        # Swap-closed seed: {y0,y1} x {z0,z1} fully populated.
+        for y in ("y0", "y1"):
+            for z in ("z0", "z1"):
+                theory.add_formula(f"R3(x,{y},{z})")
+        assert theory.satisfies_axiom_invariant()
+        return theory
+
+    def test_delete_commutes(self):
+        theory = self._closed_theory()
+        assert commutes(theory, ["DELETE R3(x,y1,z0) WHERE T"])
+
+    def test_insert_new_group_commutes(self):
+        theory = self._closed_theory()
+        assert commutes(theory, ["INSERT R3(w,y9,z9) WHERE T"])
+
+    def test_insert_breaking_closure_commutes(self):
+        # Inserting one tuple of a new y-value without its swaps: rule 3
+        # annihilates the produced worlds on both paths.
+        theory = self._closed_theory()
+        assert commutes(theory, ["INSERT R3(x,y7,z0) WHERE T"])
+
+    def test_sequence_commutes(self):
+        theory = self._closed_theory()
+        script = [
+            "DELETE R3(x,y1,z0) WHERE T",
+            "DELETE R3(x,y1,z1) WHERE T",  # removes y1 entirely: legal again
+        ]
+        assert commutes(theory, script)
+
+    def test_invariant_violation_detected_up_front(self):
+        """The guard rail: builders can reject illegal starting points."""
+        from repro.errors import TheoryError
+        from repro.theory.builder import TheoryBuilder
+        from repro.theory.dependencies import MultivaluedDependency
+
+        R3 = Predicate("R3", 3)
+        mvd = MultivaluedDependency(R3, [0], [1])
+        builder = TheoryBuilder()
+        builder.dependency(mvd)
+        builder.fact("R3(x,y1,z0)", "R3(x,y0,z1)")  # not swap-closed
+        with pytest.raises(TheoryError):
+            builder.build(check_invariant=True)

@@ -1,0 +1,109 @@
+"""Unit tests for the log-structured (record-of-updates) backend."""
+
+import pytest
+
+from repro.core.engine import Database
+from repro.core.logstore import LogStructuredStore
+from repro.theory.theory import ExtendedRelationalTheory
+
+
+class TestWrites:
+    def test_apply_appends(self):
+        store = LogStructuredStore()
+        store.apply("INSERT P(a) WHERE T").apply("INSERT P(b) WHERE T")
+        assert len(store) == 2
+
+    def test_apply_does_no_gua_work(self):
+        store = LogStructuredStore()
+        store.apply("INSERT P(a) WHERE T")
+        assert store.replays == 0  # nothing materialized yet
+
+    def test_base_theory_isolated(self):
+        base = ExtendedRelationalTheory(formulas=["P(a)"])
+        store = LogStructuredStore(base)
+        base.add_formula("P(b)")
+        assert not store.is_possible("P(b)")
+
+
+class TestReads:
+    def test_query_replays(self):
+        store = LogStructuredStore()
+        store.apply("INSERT P(a) | P(b) WHERE T")
+        assert store.ask("P(a)").status == "possible"
+        assert store.replays == 1
+
+    def test_memoization_within_burst(self):
+        store = LogStructuredStore()
+        store.apply("INSERT P(a) WHERE T")
+        store.ask("P(a)")
+        store.ask("!P(a)")
+        store.is_certain("P(a)")
+        assert store.replays == 1
+
+    def test_append_invalidates_memo(self):
+        store = LogStructuredStore()
+        store.apply("INSERT P(a) WHERE T")
+        store.ask("P(a)")
+        store.apply("DELETE P(a) WHERE T")
+        assert not store.is_possible("P(a)")
+        assert store.replays == 2
+
+    def test_world_set(self):
+        store = LogStructuredStore()
+        store.apply("INSERT P(a) | P(b) WHERE T")
+        assert len(store.world_set()) == 3
+
+
+class TestEquivalenceWithDatabase:
+    def test_same_answers_as_gua_engine(self):
+        script = [
+            "INSERT P(a) | P(b) WHERE T",
+            "INSERT P(c) WHERE P(a)",
+            "DELETE P(b) WHERE P(c)",
+            "ASSERT P(a) | P(b)",
+        ]
+        db = Database()
+        store = LogStructuredStore()
+        for update in script:
+            db.update(update)
+            store.apply(update)
+        assert store.world_set() == db.theory.world_set()
+
+    def test_simplify_during_replay_preserves_answers(self):
+        script = ["INSERT P(a) WHERE T", "INSERT !P(a) WHERE T",
+                  "INSERT P(a) WHERE T", "INSERT P(b) | P(c) WHERE T"]
+        plain = LogStructuredStore()
+        simplified = LogStructuredStore(simplify_every=2)
+        plain.run_script(script)
+        simplified.run_script(script)
+        assert plain.world_set() == simplified.world_set()
+
+    def test_simplified_replay_smaller(self):
+        script = ["INSERT P(a) WHERE T", "INSERT !P(a) WHERE T"] * 4
+        plain = LogStructuredStore()
+        simplified = LogStructuredStore(simplify_every=2)
+        plain.run_script(script)
+        simplified.run_script(script)
+        assert simplified.materialize().size() < plain.materialize().size()
+
+
+class TestCompaction:
+    def test_compact_clears_log(self):
+        store = LogStructuredStore()
+        store.run_script(["INSERT P(a) WHERE T", "INSERT P(b) WHERE T"])
+        store.compact()
+        assert len(store) == 0
+
+    def test_compact_preserves_state(self):
+        store = LogStructuredStore()
+        store.run_script(["INSERT P(a) | P(b) WHERE T", "ASSERT P(a)"])
+        before = store.world_set()
+        store.compact()
+        assert store.world_set() == before
+
+    def test_updates_after_compact(self):
+        store = LogStructuredStore()
+        store.apply("INSERT P(a) WHERE T")
+        store.compact()
+        store.apply("INSERT P(b) WHERE P(a)")
+        assert store.is_certain("P(a) & P(b)")

@@ -1,0 +1,101 @@
+"""Unit tests for the naive materialized-worlds baseline."""
+
+import pytest
+
+from repro.core.naive import NaiveWorldStore, commutes
+from repro.errors import InconsistentTheoryError
+from repro.logic.parser import parse
+from repro.logic.terms import Predicate
+from repro.theory.dependencies import FunctionalDependency
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+P = Predicate("P", 1)
+a, b = P("a"), P("b")
+
+
+class TestConstruction:
+    def test_from_theory(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)"])
+        store = NaiveWorldStore.from_theory(theory)
+        assert store.world_count() == 3
+
+    def test_from_theory_carries_axioms(self):
+        E = Predicate("E", 2)
+        fd = FunctionalDependency(E, [0], [1])
+        theory = ExtendedRelationalTheory(dependencies=[fd], formulas=["E(k,v)"])
+        store = NaiveWorldStore.from_theory(theory)
+        store.apply("INSERT E(k,w) WHERE T")
+        assert store.world_count() == 0  # rule 3 filtered the conflict
+
+    def test_explicit_worlds(self):
+        store = NaiveWorldStore([AlternativeWorld([a])])
+        assert store.worlds == {AlternativeWorld([a])}
+
+
+class TestUpdates:
+    def test_apply_string(self):
+        store = NaiveWorldStore([AlternativeWorld()])
+        store.apply("INSERT P(a) WHERE T")
+        assert store.worlds == {AlternativeWorld([a])}
+
+    def test_apply_returns_self_for_chaining(self):
+        store = NaiveWorldStore([AlternativeWorld()])
+        result = store.apply("INSERT P(a)").apply("DELETE P(a)")
+        assert result is store
+
+    def test_run_script(self):
+        store = NaiveWorldStore([AlternativeWorld()])
+        store.run_script(["INSERT P(a) | P(b)", "ASSERT P(a)"])
+        assert store.worlds == {
+            AlternativeWorld([a]),
+            AlternativeWorld([a, b]),
+        }
+
+    def test_branching_grows_world_count(self):
+        store = NaiveWorldStore([AlternativeWorld()])
+        store.apply("INSERT P(x0) | P(y0)")
+        store.apply("INSERT P(x1) | P(y1)")
+        assert store.world_count() == 9
+
+
+class TestQueries:
+    def test_certain_and_possible(self):
+        store = NaiveWorldStore(
+            [AlternativeWorld([a]), AlternativeWorld([a, b])]
+        )
+        assert store.certain("P(a)")
+        assert not store.certain("P(b)")
+        assert store.possible("P(b)")
+        assert not store.possible("P(zz)")
+
+    def test_certain_on_empty_store_raises(self):
+        store = NaiveWorldStore([])
+        with pytest.raises(InconsistentTheoryError):
+            store.certain("P(a)")
+
+    def test_is_consistent(self):
+        assert NaiveWorldStore([AlternativeWorld()]).is_consistent()
+        assert not NaiveWorldStore([]).is_consistent()
+
+    def test_copy_independent(self):
+        store = NaiveWorldStore([AlternativeWorld()])
+        clone = store.copy()
+        clone.apply("INSERT P(a)")
+        assert store.worlds == {AlternativeWorld()}
+
+    def test_equality(self):
+        assert NaiveWorldStore([AlternativeWorld([a])]) == NaiveWorldStore(
+            [AlternativeWorld([a])]
+        )
+
+
+class TestCommutesHelper:
+    def test_detects_agreement(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)"])
+        assert commutes(theory, ["INSERT P(a) WHERE P(b)"])
+
+    def test_original_theory_untouched(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        commutes(theory, ["DELETE P(a) WHERE T"])
+        assert len(theory.formulas()) == 1

@@ -1,0 +1,213 @@
+"""Unit tests for JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.core.engine import Database
+from repro.ldml.ast import Assert_, Delete, Insert, Modify
+from repro.logic.parser import parse, parse_atom
+from repro.logic.terms import Predicate
+from repro.persist import (
+    PersistenceError,
+    database_from_dict,
+    database_to_dict,
+    dependency_from_dict,
+    dependency_to_dict,
+    load_database,
+    load_theory,
+    save_database,
+    save_theory,
+    theory_from_dict,
+    theory_to_dict,
+    update_from_dict,
+    update_to_dict,
+)
+from repro.theory.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    MultivaluedDependency,
+    TAtom,
+    TemplateAtom,
+    TemplateDependency,
+    Var,
+)
+from repro.theory.schema import schema_from_dict
+from repro.theory.theory import ExtendedRelationalTheory
+
+
+class TestTheoryRoundTrip:
+    def test_formulas_preserved(self, tmp_path):
+        theory = ExtendedRelationalTheory(
+            formulas=["P(a) | P(b)", "!P(c)", "P(a) -> P(b)"]
+        )
+        path = tmp_path / "t.json"
+        save_theory(theory, path)
+        loaded = load_theory(path)
+        assert loaded.formulas() == theory.formulas()
+
+    def test_worlds_preserved(self, tmp_path):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)"])
+        path = tmp_path / "t.json"
+        save_theory(theory, path)
+        assert load_theory(path).world_set() == theory.world_set()
+
+    def test_schema_preserved(self, tmp_path):
+        schema = schema_from_dict({"R": ["A", "B"]})
+        theory = ExtendedRelationalTheory(schema=schema, formulas=["R(x,y) & A(x) & B(y)"])
+        path = tmp_path / "t.json"
+        save_theory(theory, path)
+        loaded = load_theory(path)
+        assert loaded.schema is not None
+        assert loaded.schema.relation("R").arity == 2
+
+    def test_dependencies_preserved(self, tmp_path):
+        E = Predicate("E", 2)
+        theory = ExtendedRelationalTheory(
+            dependencies=[FunctionalDependency(E, [0], [1])],
+            formulas=["E(k,v)"],
+        )
+        path = tmp_path / "t.json"
+        save_theory(theory, path)
+        loaded = load_theory(path)
+        assert len(loaded.dependencies) == 1
+        assert isinstance(loaded.dependencies[0], FunctionalDependency)
+
+    def test_predicate_constants_survive(self, tmp_path):
+        theory = ExtendedRelationalTheory(formulas=["@p0 | P(a)", "!@p0"])
+        path = tmp_path / "t.json"
+        save_theory(theory, path)
+        assert load_theory(path).world_set() == theory.world_set()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(PersistenceError):
+            theory_from_dict({"format": "something-else"})
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError):
+            load_theory(path)
+
+    def test_document_is_plain_json(self, tmp_path):
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        path = tmp_path / "t.json"
+        save_theory(theory, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-theory-v1"
+        assert data["formulas"] == ["P(a)"]
+
+
+class TestDependencySerialization:
+    def test_fd(self):
+        fd = FunctionalDependency(Predicate("E", 3), [0, 1], [2])
+        restored = dependency_from_dict(dependency_to_dict(fd))
+        assert restored.determinant == (0, 1)
+        assert restored.dependent == (2,)
+
+    def test_inclusion(self):
+        ind = InclusionDependency(
+            Predicate("P", 1), [0], Predicate("Q", 1), [0]
+        )
+        restored = dependency_from_dict(dependency_to_dict(ind))
+        assert isinstance(restored, InclusionDependency)
+
+    def test_mvd(self):
+        mvd = MultivaluedDependency(Predicate("R", 3), [0], [1])
+        restored = dependency_from_dict(dependency_to_dict(mvd))
+        assert isinstance(restored, MultivaluedDependency)
+
+    def test_generic_template_rejected(self):
+        P1, Q1 = Predicate("P", 1), Predicate("Q", 1)
+        generic = TemplateDependency(
+            body=[TemplateAtom(P1, [Var("x")])],
+            head=TAtom(TemplateAtom(Q1, [Var("x")])),
+        )
+        with pytest.raises(PersistenceError):
+            dependency_to_dict(generic)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PersistenceError):
+            dependency_from_dict({"kind": "mystery"})
+
+
+class TestUpdateSerialization:
+    @pytest.mark.parametrize(
+        "update",
+        [
+            Insert(parse("P(a) | P(b)"), parse("P(c)")),
+            Delete(parse_atom("P(a)"), parse("P(b)")),
+            Modify(parse_atom("P(a)"), parse("P(b)"), parse("T")),
+            Assert_(parse("P(a) -> P(b)")),
+        ],
+    )
+    def test_round_trip(self, update):
+        assert update_from_dict(update_to_dict(update)) == update
+
+    def test_unknown_op(self):
+        with pytest.raises(PersistenceError):
+            update_from_dict({"op": "upsert"})
+
+
+class TestDatabaseRoundTrip:
+    def test_state_and_journal(self, tmp_path):
+        db = Database()
+        db.update("INSERT P(a) | P(b) WHERE T")
+        db.update("ASSERT P(a)")
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.theory.world_set() == db.theory.world_set()
+        assert len(loaded.transactions.log) == 2
+
+    def test_loaded_database_keeps_working(self, tmp_path):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database(path)
+        loaded.update("INSERT P(b) WHERE P(a)")
+        assert loaded.is_certain("P(a) & P(b)")
+
+    def test_schema_and_tagging_restored(self, tmp_path):
+        schema = schema_from_dict({"R": ["A"]})
+        db = Database(schema=schema)
+        db.update("INSERT R(x) WHERE T")
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database(path)
+        loaded.update("INSERT R(y) WHERE T")  # auto-tagging must still fire
+        assert loaded.is_certain("R(y) & A(y)")
+
+    def test_bad_format(self):
+        with pytest.raises(PersistenceError):
+            database_from_dict({"format": "nope"})
+
+
+class TestSimultaneousJournal:
+    """Regression: open/simultaneous updates must journal as the set, not
+    as the synthetic joint INSERT (whose replay semantics would differ)."""
+
+    def test_open_update_replays_identically(self):
+        db = Database()
+        db.update("INSERT Emp(alice,sales) WHERE T")
+        db.update("INSERT Emp(carol,hr) WHERE T")
+        db.update("INSERT Moved(?x) WHERE Emp(?x, sales)")
+        replayed = db.transactions.replay()
+        assert replayed.world_set() == db.theory.world_set()
+
+    def test_simultaneous_round_trips_through_json(self):
+        from repro.ldml.simultaneous import SimultaneousInsert
+
+        sim = SimultaneousInsert([("P(a)", "P(b)"), ("T", "!P(c)")])
+        assert update_from_dict(update_to_dict(sim)) == sim
+
+    def test_database_with_open_updates_round_trips(self, tmp_path):
+        db = Database()
+        db.update("INSERT Emp(alice,sales) WHERE T")
+        db.update("INSERT Moved(?x) WHERE Emp(?x, sales)")
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.theory.world_set() == db.theory.world_set()
+        assert len(loaded.transactions.log) == 2

@@ -1,0 +1,119 @@
+"""Unit tests for theory-level simplification (Section 4)."""
+
+import pytest
+
+from repro.core.gua import gua_run_script, gua_update
+from repro.core.simplification import (
+    AutoSimplifier,
+    simplify_theory,
+)
+from repro.logic.parser import parse
+from repro.logic.terms import Predicate
+from repro.theory.theory import ExtendedRelationalTheory
+
+P = Predicate("P", 1)
+
+
+class TestWorldPreservation:
+    """The only property that matters: simplification never changes worlds."""
+
+    def test_after_paper_example(self):
+        theory = ExtendedRelationalTheory(formulas=["R(a)", "R(a) | R(b)"])
+        gua_update(theory, "INSERT R(c) | R(a) WHERE R(b) & R(a)")
+        before = theory.world_set()
+        simplify_theory(theory)
+        assert theory.world_set() == before
+
+    def test_after_long_stream(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)"])
+        script = [
+            "INSERT P(c) WHERE P(a)",
+            "DELETE P(b) WHERE P(c)",
+            "INSERT P(a) | P(d) WHERE T",
+            "MODIFY P(c) TO BE P(b) WHERE P(a)",
+        ]
+        gua_run_script(theory, script)
+        before = theory.world_set()
+        simplify_theory(theory)
+        assert theory.world_set() == before
+
+    def test_universe_preserved_for_unconstrained_atoms(self):
+        # {f | !f} has two worlds; simplification must not collapse to one.
+        theory = ExtendedRelationalTheory(formulas=["P(a) | !P(a)"])
+        assert theory.world_count() == 2
+        simplify_theory(theory)
+        assert theory.world_count() == 2
+        assert P("a") in theory.atom_universe()
+
+    def test_interleaved_with_updates(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)"])
+        reference = theory.copy()
+        for update in ["INSERT P(c) WHERE P(a)", "DELETE P(a) WHERE T",
+                       "INSERT P(b) | P(c) WHERE T"]:
+            gua_update(theory, update)
+            simplify_theory(theory)
+            gua_update(reference, update)
+            assert theory.world_set() == reference.world_set(), update
+
+    def test_inconsistent_theory_stays_inconsistent(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a)", "!P(a)"])
+        simplify_theory(theory)
+        assert not theory.is_consistent()
+
+
+class TestShrinkage:
+    def test_report_metrics(self):
+        theory = ExtendedRelationalTheory(formulas=["R(a)", "R(a) | R(b)"])
+        gua_update(theory, "INSERT R(c) | R(a) WHERE R(b) & R(a)")
+        report = simplify_theory(theory)
+        assert report.size_after < report.size_before
+        assert report.shrink_ratio < 1.0
+
+    def test_spent_predicate_constants_eliminated(self):
+        theory = ExtendedRelationalTheory(formulas=["R(a)", "R(a) | R(b)"])
+        gua_update(theory, "INSERT R(c) | R(a) WHERE R(b) & R(a)")
+        simplify_theory(theory)
+        remaining = set()
+        for formula in theory.formulas():
+            remaining.update(formula.predicate_constants())
+        assert not remaining  # the worked example's p_a / p_c are gone
+
+    def test_keeps_size_bounded_under_repeated_toggles(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        for _ in range(10):
+            gua_update(theory, "INSERT !P(a) WHERE T")
+            gua_update(theory, "INSERT P(a) WHERE T")
+            simplify_theory(theory)
+        assert theory.size() < 30
+
+    def test_without_simplification_grows(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        for _ in range(10):
+            gua_update(theory, "INSERT !P(a) WHERE T")
+            gua_update(theory, "INSERT P(a) WHERE T")
+        assert theory.size() > 30
+
+    def test_elimination_can_be_disabled(self):
+        theory = ExtendedRelationalTheory(formulas=["R(a)", "R(a) | R(b)"])
+        gua_update(theory, "INSERT R(c) WHERE R(b)")
+        report = simplify_theory(theory, eliminate_constants=False)
+        assert report.constants_eliminated == 0
+
+
+class TestAutoSimplifier:
+    def test_fires_on_interval(self):
+        simplifier = AutoSimplifier(interval=2)
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        assert simplifier.after_update(theory) is None
+        assert simplifier.after_update(theory) is not None
+        assert simplifier.after_update(theory) is None
+
+    def test_records_reports(self):
+        simplifier = AutoSimplifier(interval=1)
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        simplifier.after_update(theory)
+        assert len(simplifier.reports) == 1
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            AutoSimplifier(interval=0)

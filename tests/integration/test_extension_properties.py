@@ -1,0 +1,117 @@
+"""Property-based tests for the Section 4 extensions and the policies.
+
+Hypothesis drives random simultaneous pairs and sections through the
+generalized GUA and the model-level oracles; persistence round-trips random
+theories; every policy's diagram commutes on random instances.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.gua import GuaExecutor
+from repro.ldml.policies import POLICIES, update_worlds_with_policy
+from repro.ldml.simultaneous import (
+    SimultaneousInsert,
+    update_worlds_simultaneously,
+)
+from repro.logic.syntax import And, Atom, Implies, Not, Or, TRUE
+from repro.logic.terms import Predicate
+from repro.theory.theory import ExtendedRelationalTheory
+
+P = Predicate("P", 1)
+ATOMS = [P(n) for n in ("a", "b", "c")]
+
+leaf = st.sampled_from([Atom(a) for a in ATOMS])
+small_formula = st.recursive(
+    st.one_of(leaf, st.builds(Not, leaf), st.just(TRUE)),
+    lambda children: st.one_of(
+        st.builds(lambda l, r: And((l, r)), children, children),
+        st.builds(lambda l, r: Or((l, r)), children, children),
+        st.builds(Implies, children, children),
+    ),
+    max_leaves=4,
+)
+
+pairs = st.tuples(small_formula, small_formula)
+simultaneous_updates = st.lists(pairs, min_size=2, max_size=3).map(
+    SimultaneousInsert
+)
+sections = st.lists(small_formula, min_size=0, max_size=2)
+
+
+def build_theory(section):
+    theory = ExtendedRelationalTheory()
+    for formula in section:
+        theory.add_formula(formula)
+    return theory
+
+
+@settings(max_examples=50, deadline=None)
+@given(sections, simultaneous_updates)
+def test_simultaneous_commutative_diagram(section, update):
+    """The generalized GUA matches the simultaneous model semantics."""
+    theory = build_theory(section)
+    expected = update_worlds_simultaneously(
+        theory.alternative_worlds(), update
+    )
+    GuaExecutor(theory).apply_simultaneous(update)
+    assert theory.world_set() == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(sections, small_formula, small_formula, st.sampled_from(POLICIES))
+def test_policy_commutative_diagram(section, body, where, policy):
+    """Every restriction policy's GUA variant matches its oracle."""
+    from repro.ldml.ast import Insert
+
+    theory = build_theory(section)
+    update = Insert(body, where)
+    expected = update_worlds_with_policy(
+        theory.alternative_worlds(), update, policy
+    )
+    executor = GuaExecutor(theory, restriction_policy=policy)
+    executor.apply(update)
+    assert theory.world_set() == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(sections)
+def test_persist_round_trip_preserves_worlds(section):
+    from repro.persist import theory_from_dict, theory_to_dict
+
+    theory = build_theory(section)
+    restored = theory_from_dict(theory_to_dict(theory))
+    assert restored.world_set() == theory.world_set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(sections, simultaneous_updates)
+def test_simultaneous_then_simplify_preserves_worlds(section, update):
+    from repro.core.simplification import simplify_theory
+
+    theory = build_theory(section)
+    GuaExecutor(theory).apply_simultaneous(update)
+    before = theory.world_set()
+    simplify_theory(theory)
+    assert theory.world_set() == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(sections, small_formula)
+def test_witness_worlds_sound(section, query):
+    from repro.query.answers import witness_world
+
+    theory = build_theory(section)
+    worlds = theory.world_set()
+    yes = witness_world(theory, query)
+    no = witness_world(theory, query, holds=False)
+    if yes is not None:
+        assert yes in worlds and yes.satisfies(query)
+    else:
+        assert all(not w.satisfies(query) for w in worlds)
+    if no is not None:
+        assert no in worlds and not no.satisfies(query)
+    else:
+        assert all(w.satisfies(query) for w in worlds)

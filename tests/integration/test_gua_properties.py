@@ -1,0 +1,120 @@
+"""Property-based integration tests: GUA vs the model-level semantics.
+
+These are the library's strongest correctness guarantees: hypothesis drives
+random theories and update streams through both paths of Theorem 1's
+commutative diagram and through the query layer.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.gua import gua_run_script
+from repro.core.naive import NaiveWorldStore
+from repro.core.simplification import simplify_theory
+from repro.ldml.ast import Assert_, Delete, Insert, Modify
+from repro.logic.syntax import And, Atom, Implies, Not, Or, TRUE
+from repro.logic.terms import Predicate
+from repro.theory.theory import ExtendedRelationalTheory
+
+P = Predicate("P", 1)
+ATOMS = [P(n) for n in ("a", "b", "c")]
+
+leaf = st.sampled_from([Atom(a) for a in ATOMS])
+small_formula = st.recursive(
+    st.one_of(leaf, st.builds(Not, leaf), st.just(TRUE)),
+    lambda children: st.one_of(
+        st.builds(lambda l, r: And((l, r)), children, children),
+        st.builds(lambda l, r: Or((l, r)), children, children),
+        st.builds(Implies, children, children),
+    ),
+    max_leaves=4,
+)
+
+updates = st.one_of(
+    st.builds(Insert, small_formula, small_formula),
+    st.builds(Delete, st.sampled_from(ATOMS), small_formula),
+    st.builds(Modify, st.sampled_from(ATOMS), small_formula, small_formula),
+    st.builds(Assert_, small_formula),
+)
+
+sections = st.lists(small_formula, min_size=0, max_size=3)
+scripts = st.lists(updates, min_size=1, max_size=3)
+
+
+def build_theory(section):
+    theory = ExtendedRelationalTheory()
+    for formula in section:
+        theory.add_formula(formula)
+    return theory
+
+
+@settings(max_examples=60, deadline=None)
+@given(sections, scripts)
+def test_commutative_diagram(section, script):
+    """Theorem 1: GUA's worlds == per-world updated worlds, always."""
+    theory = build_theory(section)
+    naive = NaiveWorldStore.from_theory(theory)
+    gua_run_script(theory, script)
+    naive.run_script(script)
+    assert theory.world_set() == naive.worlds
+
+
+@settings(max_examples=40, deadline=None)
+@given(sections, scripts)
+def test_simplification_preserves_updated_worlds(section, script):
+    """Simplifying after a GUA stream never changes the world set."""
+    theory = build_theory(section)
+    gua_run_script(theory, script)
+    before = theory.world_set()
+    simplify_theory(theory)
+    assert theory.world_set() == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(sections, scripts)
+def test_queries_agree_with_worlds(section, script):
+    """certain/possible via SAT == brute force over enumerated worlds."""
+    from repro.query.answers import is_certain, is_possible
+
+    theory = build_theory(section)
+    gua_run_script(theory, script)
+    worlds = list(theory.alternative_worlds())
+    for atom in ATOMS:
+        query = Atom(atom)
+        assert is_possible(theory, query) == any(
+            w.satisfies(query) for w in worlds
+        )
+        assert is_certain(theory, query) == all(
+            w.satisfies(query) for w in worlds
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(sections, scripts)
+def test_theory_size_growth_is_linear_in_update_size(section, script):
+    """Section 3.6: each update adds O(g) nodes to the theory."""
+    theory = build_theory(section)
+    for update in script:
+        before = theory.size()
+        insert = update.to_insert()
+        g = insert.body.size() + insert.where.size()
+        result = gua_run_script(theory, [update])[0]
+        added = theory.size() - before
+        # Generous constant; the point is linear dependence on the update,
+        # not on the theory.
+        assert added <= 12 * g + 12, (added, g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sections, scripts)
+def test_replay_equals_live(section, script):
+    """The transaction journal rebuilds the same worlds (Section 4's
+    record-of-updates strawman agrees with the incremental theory)."""
+    theory = build_theory(section)
+    reference = theory.copy()
+    gua_run_script(theory, script)
+    replayed = reference
+    gua_run_script(replayed, script)
+    assert replayed.world_set() == theory.world_set()

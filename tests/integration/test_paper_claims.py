@@ -1,0 +1,184 @@
+"""Fast, assertion-level versions of every reproduced paper claim.
+
+The benchmark harness (benchmarks/) measures and prints; this module makes
+the same claims part of the ordinary test suite, at sizes that run in
+milliseconds, so a regression in any reproduced result fails `pytest tests/`
+immediately.  One test per claim, named after the experiment ids in
+DESIGN.md.
+"""
+
+import time
+
+from repro.core.engine import Database
+from repro.core.gua import GuaExecutor, gua_update
+from repro.core.naive import NaiveWorldStore, commutes
+from repro.core.simplification import simplify_theory
+from repro.ldml.equivalence import (
+    equivalent_by_enumeration,
+    theorem3_equivalent,
+)
+from repro.ldml.parser import parse_update
+from repro.logic.parser import parse_atom
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+
+def paper_theory():
+    theory = ExtendedRelationalTheory()
+    theory.add_formula("R(a)")
+    theory.add_formula("R(a) | R(b)")
+    return theory
+
+
+class TestE1Theorem1:
+    def test_commutative_diagram(self):
+        theory = paper_theory()
+        script = [
+            "INSERT R(c) | R(a) WHERE R(b) & R(a)",
+            "DELETE R(b) WHERE T",
+            "ASSERT R(a) | R(c)",
+        ]
+        assert commutes(theory, script)
+
+
+class TestE2E3WorkedExamples:
+    def test_modify_example(self):
+        theory = paper_theory()
+        gua_update(theory, "MODIFY R(a) TO BE R(a') WHERE R(b)")
+        assert theory.world_set() == {
+            AlternativeWorld([parse_atom("R(b)"), parse_atom("R(a')")]),
+            AlternativeWorld([parse_atom("R(a)")]),
+        }
+
+    def test_branching_example(self):
+        theory = paper_theory()
+        gua_update(theory, "INSERT R(c) | R(a) WHERE R(b) & R(a)")
+        a, b, c = parse_atom("R(a)"), parse_atom("R(b)"), parse_atom("R(c)")
+        assert theory.world_set() == {
+            AlternativeWorld([a]),
+            AlternativeWorld([b, c]),
+            AlternativeWorld([b, a]),
+            AlternativeWorld([b, c, a]),
+        }
+
+    def test_simplifies_to_two_wffs(self):
+        theory = paper_theory()
+        gua_update(theory, "INSERT R(c) | R(a) WHERE R(b) & R(a)")
+        simplify_theory(theory)
+        assert len(theory.formulas()) <= 2
+
+
+class TestE4E5CostModel:
+    def test_update_cost_flat_in_R(self):
+        """O(g log R): 16x more atoms must not mean anywhere near 16x time."""
+        from repro.bench.workload import populated_theory, update_touching_existing
+
+        def per_update(r):
+            theory = populated_theory(r)
+            executor = GuaExecutor(theory)
+            update = update_touching_existing(3, theory)
+            start = time.perf_counter()
+            executor.apply(update)
+            return time.perf_counter() - start
+
+        small = min(per_update(100) for _ in range(3))
+        large = min(per_update(1600) for _ in range(3))
+        assert large < small * 8, (small, large)
+
+    def test_growth_independent_of_theory_size(self):
+        from repro.bench.workload import populated_theory, update_with_g_atoms
+
+        theory = populated_theory(50)
+        executor = GuaExecutor(theory)
+        deltas = []
+        for i in range(12):
+            before = theory.size()
+            executor.apply(update_with_g_atoms(3, offset=10 * i))
+            deltas.append(theory.size() - before)
+        assert max(deltas) == min(deltas)  # exactly flat for fixed shape
+
+
+class TestE6DependencyCost:
+    def test_conflict_free_adds_no_instances(self):
+        from repro.bench.workload import fd_theory, fd_updates
+
+        theory, _ = fd_theory(50)
+        result = gua_update(theory, fd_updates(3, conflicting=False))
+        assert result.stats.dependency_instances == 0
+
+    def test_all_conflict_adds_theta_gR_instances(self):
+        from repro.bench.workload import fd_updates, fd_worst_case_theory
+
+        r = 40
+        theory, _ = fd_worst_case_theory(r)
+        result = gua_update(theory, fd_updates(3, conflicting=True))
+        # 3 new tuples each conflicting with r existing + each other: >= 3r.
+        assert result.stats.dependency_instances >= 3 * r
+
+
+class TestE7E8Equivalence:
+    def test_paper_pairs(self):
+        not_equal = (
+            parse_update("INSERT p(x) WHERE T"),
+            parse_update("INSERT p(x) | T WHERE T"),
+        )
+        equal = (
+            parse_update("INSERT q(x) WHERE p(x) & q(x)"),
+            parse_update("INSERT p(x) WHERE p(x) & q(x)"),
+        )
+        assert not theorem3_equivalent(*not_equal)
+        assert not equivalent_by_enumeration(*not_equal)
+        assert theorem3_equivalent(*equal)
+        assert equivalent_by_enumeration(*equal)
+
+
+class TestE9Simplification:
+    def test_bounded_vs_growing(self):
+        def run(simplify):
+            theory = ExtendedRelationalTheory(formulas=["P(a)"])
+            executor = GuaExecutor(theory)
+            for _ in range(6):
+                executor.apply("INSERT !P(a) WHERE T")
+                executor.apply("INSERT P(a) WHERE T")
+                if simplify:
+                    simplify_theory(theory)
+            return theory
+
+        grown = run(False)
+        bounded = run(True)
+        assert bounded.size() * 3 < grown.size()
+        assert bounded.world_set() == grown.world_set()
+
+
+class TestE10NaiveBaseline:
+    def test_gua_flat_naive_tracks_worlds(self):
+        from repro.bench.workload import branching_stream
+
+        theory = ExtendedRelationalTheory()
+        executor = GuaExecutor(theory)
+        naive = NaiveWorldStore([AlternativeWorld()])
+        stream = branching_stream(5)
+        gua_sizes = []
+        for update in stream:
+            executor.apply(update)
+            naive.apply(update)
+            gua_sizes.append(theory.size())
+        assert naive.world_count() == 3 ** 5
+        # GUA state grows linearly with updates, not with worlds.
+        deltas = [b - a for a, b in zip(gua_sizes, gua_sizes[1:])]
+        assert max(deltas) <= min(deltas) + 2
+
+
+class TestE12LogStore:
+    def test_replay_agrees_and_compaction_helps(self):
+        from repro.core.logstore import LogStructuredStore
+
+        db = Database()
+        store = LogStructuredStore()
+        for update in ["INSERT P(a) | P(b) WHERE T", "ASSERT P(a)"]:
+            db.update(update)
+            store.apply(update)
+        assert store.world_set() == db.theory.world_set()
+        store.compact()
+        assert len(store) == 0
+        assert store.world_set() == db.theory.world_set()

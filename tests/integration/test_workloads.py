@@ -1,0 +1,161 @@
+"""Tests for the bench substrate itself (generators must be trustworthy)."""
+
+import random
+
+import pytest
+
+from repro.bench.measure import (
+    fit_linear,
+    fit_log,
+    fit_power_law,
+    growth_ratio,
+    sweep,
+    time_callable,
+)
+from repro.bench.report import render_table
+from repro.bench.workload import (
+    atom_pool,
+    branching_stream,
+    fd_theory,
+    fd_updates,
+    fd_worst_case_theory,
+    orders_scenario,
+    populated_theory,
+    random_theory,
+    random_update,
+    update_stream,
+    update_touching_existing,
+    update_with_g_atoms,
+)
+
+
+class TestGenerators:
+    def test_atom_pool_distinct(self):
+        atoms = atom_pool(10)
+        assert len(set(atoms)) == 10
+
+    def test_atom_pool_arity(self):
+        atoms = atom_pool(3, arity=2)
+        assert all(a.predicate.arity == 2 for a in atoms)
+
+    def test_populated_theory_r(self):
+        theory = populated_theory(25)
+        assert theory.max_predicate_population() == 25
+
+    def test_update_with_g_atoms(self):
+        update = update_with_g_atoms(7)
+        assert len(update.body.ground_atoms()) == 7
+
+    def test_update_touching_existing(self):
+        theory = populated_theory(10)
+        update = update_touching_existing(4, theory)
+        assert update.body.ground_atoms() <= set(theory.atom_universe())
+
+    def test_update_touching_existing_bounds(self):
+        theory = populated_theory(3)
+        with pytest.raises(ValueError):
+            update_touching_existing(5, theory)
+
+    def test_branching_stream_world_growth(self):
+        from repro.core.naive import NaiveWorldStore
+        from repro.theory.worlds import AlternativeWorld
+
+        store = NaiveWorldStore([AlternativeWorld()])
+        store.run_script(branching_stream(3))
+        assert store.world_count() == 27  # 3^k
+
+    def test_random_theory_consistent(self):
+        rng = random.Random(1)
+        for _ in range(5):
+            assert random_theory(rng).is_consistent()
+
+    def test_random_theory_deterministic_by_seed(self):
+        first = random_theory(5, n_wffs=2).formulas()
+        second = random_theory(5, n_wffs=2).formulas()
+        assert first == second
+
+    def test_update_stream_deterministic(self):
+        atoms = atom_pool(3)
+        assert [repr(u) for u in update_stream(9, atoms, 4)] == [
+            repr(u) for u in update_stream(9, atoms, 4)
+        ]
+
+    def test_fd_theory_conflict_free(self):
+        theory, fd = fd_theory(10)
+        for world in theory.alternative_worlds(limit=1):
+            assert fd.holds_in_world(world.true_atoms)
+
+    def test_fd_updates_conflicting_shares_key(self):
+        update = fd_updates(3, conflicting=True)
+        keys = {a.args[0] for a in update.body.ground_atoms()}
+        assert len(keys) == 1
+
+    def test_fd_updates_fresh_keys(self):
+        update = fd_updates(3, conflicting=False)
+        keys = {a.args[0] for a in update.body.ground_atoms()}
+        assert len(keys) == 3
+
+    def test_fd_worst_case_theory_single_key(self):
+        theory, fd = fd_worst_case_theory(5)
+        atoms = theory.atom_universe()
+        assert len({a.args[0] for a in atoms}) == 1
+
+    def test_orders_scenario_schema(self):
+        scenario = orders_scenario(5, 3, rng=1)
+        assert scenario.theory.schema is scenario.schema
+        assert scenario.theory.is_consistent()
+        assert scenario.theory.satisfies_axiom_invariant()
+
+
+class TestMeasure:
+    def test_time_callable_positive(self):
+        assert time_callable(lambda: sum(range(100)), repeats=3) >= 0
+
+    def test_sweep_shapes(self):
+        results = sweep([1, 2], lambda n: (lambda: sum(range(int(n)))), repeats=2)
+        assert [m.parameter for m in results] == [1, 2]
+
+    def test_fit_power_law_linear_data(self):
+        xs = [1, 2, 4, 8]
+        ys = [3, 6, 12, 24]
+        assert abs(fit_power_law(xs, ys) - 1.0) < 1e-9
+
+    def test_fit_power_law_quadratic_data(self):
+        xs = [1, 2, 4, 8]
+        ys = [x * x for x in xs]
+        assert abs(fit_power_law(xs, ys) - 2.0) < 1e-9
+
+    def test_fit_log(self):
+        import math
+
+        xs = [2, 4, 8, 16]
+        ys = [math.log(x) for x in xs]
+        assert abs(fit_log(xs, ys) - 1.0) < 1e-9
+
+    def test_fit_linear(self):
+        assert abs(fit_linear([0, 1, 2], [1, 3, 5]) - 2.0) < 1e-9
+
+    def test_growth_ratio(self):
+        assert abs(growth_ratio([1, 10], [5, 50]) - 1.0) < 1e-9
+        assert growth_ratio([1, 10], [5, 5.5]) < 0.2
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+        with pytest.raises(ValueError):
+            fit_linear([1, 1], [1, 2])
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table("t", ["x", "time"], [[1, 0.5], [10, 5.0]])
+        assert "== t ==" in text
+        assert "0.5000" in text
+
+    def test_note(self):
+        text = render_table("t", ["x"], [[1]], note="shape only")
+        assert "note: shape only" in text
+
+    def test_scientific_formatting(self):
+        text = render_table("t", ["v"], [[0.0000012]])
+        assert "e-06" in text

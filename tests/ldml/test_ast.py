@@ -1,0 +1,157 @@
+"""Unit tests for LDML update objects and the reductions to INSERT.
+
+Each reduction claim from Section 3.2 is verified *semantically*: the
+reduced INSERT must produce the same S-set as the original operator's own
+definition on every world over the relevant atoms.
+"""
+
+import itertools
+
+import pytest
+
+from repro.errors import NotGroundError, UpdateError
+from repro.ldml.ast import Assert_, Delete, Insert, Modify, is_branching
+from repro.ldml.semantics import apply_to_world
+from repro.logic.parser import parse, parse_atom
+from repro.logic.syntax import FALSE, TRUE, Atom, Not
+from repro.logic.terms import Predicate
+from repro.theory.worlds import AlternativeWorld
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+
+
+def all_worlds(atoms):
+    for size in range(len(atoms) + 1):
+        for subset in itertools.combinations(atoms, size):
+            yield AlternativeWorld(subset)
+
+
+class TestConstruction:
+    def test_insert_from_text(self):
+        update = Insert("P(a) | P(b)", "P(c)")
+        assert update.body == parse("P(a) | P(b)")
+
+    def test_where_defaults_to_true(self):
+        assert Insert("P(a)").where == TRUE
+
+    def test_predicate_constants_rejected_in_body(self):
+        with pytest.raises(NotGroundError):
+            Insert("p & P(a)")
+
+    def test_predicate_constants_rejected_in_where(self):
+        with pytest.raises(NotGroundError):
+            Insert("P(a)", "q")
+
+    def test_delete_target_must_be_atom(self):
+        with pytest.raises(UpdateError):
+            Delete(parse("P(a) | P(b)"), TRUE)  # type: ignore[arg-type]
+
+    def test_modify_accepts_strings(self):
+        update = Modify("P(a)", "P(b)", "P(c)")
+        assert update.target == a
+
+    def test_equality_and_hash(self):
+        assert Insert("P(a)") == Insert("P(a)")
+        assert len({Insert("P(a)"), Insert("P(a)")}) == 1
+        assert Insert("P(a)") != Insert("P(b)")
+
+
+class TestAtomAccessors:
+    def test_written_atoms(self):
+        update = Insert("P(a) | P(b)", "P(c)")
+        assert update.written_atoms() == {a, b}
+
+    def test_read_atoms(self):
+        update = Insert("P(a)", "P(c)")
+        assert update.read_atoms() == {c}
+
+    def test_delete_reads_and_writes_target(self):
+        update = Delete(a, Atom(b))
+        assert a in update.written_atoms()
+        assert update.read_atoms() == {a, b}
+
+
+class TestDeleteReduction:
+    def test_matches_definition_everywhere(self):
+        """DELETE t WHERE phi&t: phi&t false -> unchanged; else t := F."""
+        update = Delete(a, Atom(b))
+        insert = update.to_insert()
+        for world in all_worlds([a, b, c]):
+            via_insert = apply_to_world(insert, world)
+            # Direct definition:
+            if world.holds(a) and world.holds(b):
+                expected = frozenset({world.with_atom(a, False)})
+            else:
+                expected = frozenset({world})
+            assert via_insert == expected, world
+
+    def test_delete_never_branches(self):
+        assert not is_branching(Delete(a, TRUE))
+
+
+class TestModifyReduction:
+    def test_target_in_body(self):
+        """MODIFY t TO BE w WHERE phi with t in w -> INSERT w WHERE phi&t."""
+        update = Modify(a, "P(a) | P(b)", TRUE)
+        insert = update.to_insert()
+        assert insert.body == parse("P(a) | P(b)")
+        assert insert.where == parse("T & P(a)")
+
+    def test_target_not_in_body_conjoins_negation(self):
+        update = Modify(a, "P(b)", TRUE)
+        insert = update.to_insert()
+        assert insert.body == parse("P(b) & !P(a)")
+
+    def test_matches_definition_everywhere(self):
+        """MODIFY semantics: set t false, then revalue atoms(w) to satisfy w."""
+        for body_text in ["P(b)", "P(a) | P(b)", "P(b) & P(c)", "!P(b)"]:
+            update = Modify(a, body_text, Atom(c))
+            insert = update.to_insert()
+            body = parse(body_text)
+            for world in all_worlds([a, b, c]):
+                via_insert = apply_to_world(insert, world)
+                if not (world.holds(a) and world.holds(c)):
+                    expected = frozenset({world})
+                else:
+                    lowered = world.with_atom(a, False)
+                    from repro.logic.dnf import satisfying_valuations
+
+                    expected = frozenset(
+                        lowered.updated(dict(v)) for v in satisfying_valuations(body)
+                    )
+                assert via_insert == expected, (body_text, world)
+
+
+class TestAssertReduction:
+    def test_reduces_to_insert_false(self):
+        update = Assert_("P(a)")
+        insert = update.to_insert()
+        assert insert.body == FALSE
+        assert insert.where == Not(parse("P(a)"))
+
+    def test_matches_definition_everywhere(self):
+        update = Assert_("P(a) -> P(b)")
+        insert = update.to_insert()
+        condition = parse("P(a) -> P(b)")
+        for world in all_worlds([a, b]):
+            via_insert = apply_to_world(insert, world)
+            expected = (
+                frozenset({world}) if world.satisfies(condition) else frozenset()
+            )
+            assert via_insert == expected
+
+
+class TestBranching:
+    def test_disjunctive_body_branches(self):
+        assert is_branching(Insert("P(a) | P(b)"))
+
+    def test_conjunctive_body_does_not(self):
+        assert not is_branching(Insert("P(a) & P(b)"))
+
+    def test_unsatisfiable_body_does_not(self):
+        assert not is_branching(Insert("P(a) & !P(a)"))
+
+    def test_paper_branching_example(self):
+        update = Insert("Orders(100,32,1) | Orders(100,32,7)")
+        assert is_branching(update)

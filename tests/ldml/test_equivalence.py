@@ -1,0 +1,205 @@
+"""Unit tests for the Theorem 2-4 update equivalence deciders.
+
+Every decider verdict on the paper's own examples is checked, and then each
+theorem is validated wholesale against the brute-force oracle over a corpus
+of systematically generated update pairs (experiment E7 runs a larger
+version of the same sweep).
+"""
+
+import itertools
+
+import pytest
+
+from repro.ldml.ast import Insert
+from repro.ldml.equivalence import (
+    are_equivalent,
+    counterexample_world,
+    equivalent_by_enumeration,
+    relevant_atoms,
+    theorem2_sufficient,
+    theorem3_equivalent,
+    theorem4_equivalent,
+)
+from repro.logic.parser import parse
+from repro.logic.terms import Predicate
+
+P = Predicate("P", 1)
+p, q, g = P("p"), P("q"), P("g")
+
+
+def insert(body, where="T"):
+    return Insert(parse(body), parse(where))
+
+
+class TestPaperExamples:
+    def test_insert_p_vs_p_or_T_not_equivalent(self):
+        """Section 3.2/3.4: INSERT T reports no change; INSERT g|T makes g
+        unknown.  The V-sets differ, so the updates differ."""
+        first, second = insert("P(p)"), insert("P(p) | T")
+        assert not theorem3_equivalent(first, second)
+        assert not equivalent_by_enumeration(first, second)
+        # They disagree exactly on producing a world where p is false.
+        witness = counterexample_world(first, second)
+        assert witness is not None
+
+    def test_insert_q_vs_p_where_p_and_q(self):
+        """Theorem 3 discussion: INSERT q WHERE p&q ~ INSERT p WHERE p&q —
+        both are no-ops wherever their shared clause holds."""
+        first = insert("P(q)", "P(p) & P(q)")
+        second = insert("P(p)", "P(p) & P(q)")
+        assert theorem3_equivalent(first, second)
+        assert equivalent_by_enumeration(first, second)
+        # Theorem 2's criteria do NOT capture this pair (different atoms):
+        assert not theorem2_sufficient(first, second)
+
+    def test_insert_T_vs_g_or_not_g(self):
+        """Inserting T differs from inserting g|!g (Section 3.2)."""
+        first, second = insert("T"), insert("P(g) | !P(g)")
+        assert not theorem3_equivalent(first, second)
+        assert not equivalent_by_enumeration(first, second)
+
+
+class TestTheorem2:
+    def test_reordered_conjunction(self):
+        first = insert("P(p) & P(q)", "P(g)")
+        second = insert("P(q) & P(p)", "P(g)")
+        assert theorem2_sufficient(first, second)
+        assert equivalent_by_enumeration(first, second)
+
+    def test_double_negation(self):
+        first = insert("P(p)")
+        second = insert("!!P(p)")
+        assert theorem2_sufficient(first, second)
+        assert equivalent_by_enumeration(first, second)
+
+    def test_requires_same_clause(self):
+        first = insert("P(p)", "P(q)")
+        second = insert("P(p)", "T")
+        assert not theorem2_sufficient(first, second)
+
+    def test_requires_same_atoms(self):
+        # Logically equivalent bodies over different atom sets fail Thm 2...
+        first = insert("P(p)", "P(p) & P(q)")
+        second = insert("P(q)", "P(p) & P(q)")
+        assert not theorem2_sufficient(first, second)
+        # ...but can still be equivalent (sufficient, not necessary).
+        assert equivalent_by_enumeration(first, second)
+
+    def test_sufficiency_holds_on_corpus(self):
+        bodies = ["P(p)", "P(p) & P(q)", "P(p) | P(q)", "!P(p)", "P(p) <-> P(q)"]
+        for b1, b2 in itertools.product(bodies, repeat=2):
+            first, second = insert(b1, "P(g)"), insert(b2, "P(g)")
+            if theorem2_sufficient(first, second):
+                assert equivalent_by_enumeration(first, second), (b1, b2)
+
+
+class TestTheorem3:
+    def test_unsatisfiable_clause_everything_equivalent(self):
+        first = insert("P(p)", "P(g) & !P(g)")
+        second = insert("!P(q) & P(p)", "P(g) & !P(g)")
+        assert theorem3_equivalent(first, second)
+        assert equivalent_by_enumeration(first, second)
+
+    def test_requires_same_clause(self):
+        with pytest.raises(ValueError):
+            theorem3_equivalent(insert("P(p)", "P(q)"), insert("P(p)", "T"))
+
+    def test_private_atom_pinned_by_body_and_clause(self):
+        # q appears only in w2 but both w2 and phi force q true: equivalent.
+        first = insert("P(p)", "P(p) & P(q)")
+        second = insert("P(p) & P(q)", "P(p) & P(q)")
+        assert theorem3_equivalent(first, second) == equivalent_by_enumeration(
+            first, second
+        )
+
+    def test_private_atom_not_pinned_breaks_equivalence(self):
+        first = insert("P(p)")
+        second = insert("P(p) & P(q)")
+        assert not theorem3_equivalent(first, second)
+        assert not equivalent_by_enumeration(first, second)
+
+    def test_both_bodies_unsatisfiable(self):
+        first = insert("P(p) & !P(p)", "P(g)")
+        second = insert("P(q) & !P(q)", "P(g)")
+        assert theorem3_equivalent(first, second)
+        assert equivalent_by_enumeration(first, second)
+
+    EXHAUSTIVE_BODIES = [
+        "T", "F", "P(p)", "!P(p)", "P(q)", "P(p) & P(q)", "P(p) | P(q)",
+        "P(p) | T", "P(p) & !P(p)", "P(p) <-> P(q)", "P(p) -> P(q)",
+    ]
+    EXHAUSTIVE_CLAUSES = ["T", "P(p)", "P(p) & P(q)", "P(g)", "P(g) & !P(g)"]
+
+    @pytest.mark.parametrize("where", EXHAUSTIVE_CLAUSES)
+    def test_decider_matches_oracle_exhaustively(self, where):
+        for b1, b2 in itertools.combinations(self.EXHAUSTIVE_BODIES, 2):
+            first, second = insert(b1, where), insert(b2, where)
+            decided = theorem3_equivalent(first, second)
+            truth = equivalent_by_enumeration(first, second)
+            assert decided == truth, (b1, b2, where)
+
+
+class TestTheorem4:
+    def test_identical_updates_different_clause_text(self):
+        first = insert("P(p)", "P(q) & P(g)")
+        second = insert("P(p)", "P(g) & P(q)")
+        assert theorem4_equivalent(first, second)
+        assert equivalent_by_enumeration(first, second)
+
+    def test_clause_difference_with_noop_body(self):
+        # Where the clauses differ, a body already entailed by the
+        # difference region is required (condition 2).
+        first = insert("P(p)", "P(p)")
+        second = insert("P(p)", "P(p) & P(q)")
+        assert theorem4_equivalent(first, second) == equivalent_by_enumeration(
+            first, second
+        )
+
+    def test_branching_body_with_different_clauses_not_equivalent(self):
+        first = insert("P(p) | P(q)", "P(g)")
+        second = insert("P(p) | P(q)", "T")
+        assert not theorem4_equivalent(first, second)
+        assert not equivalent_by_enumeration(first, second)
+
+    CLAUSE_PAIRS = [
+        ("P(p)", "T"),
+        ("P(p)", "P(q)"),
+        ("P(p) & P(q)", "P(p)"),
+        ("P(g)", "!P(g)"),
+        ("T", "T"),
+    ]
+    BODIES = ["T", "P(p)", "!P(p)", "P(p) & P(q)", "P(p) | P(q)", "F"]
+
+    @pytest.mark.parametrize("phi1,phi2", CLAUSE_PAIRS)
+    def test_decider_matches_oracle(self, phi1, phi2):
+        for b1, b2 in itertools.product(self.BODIES, repeat=2):
+            first, second = insert(b1, phi1), insert(b2, phi2)
+            decided = theorem4_equivalent(first, second)
+            truth = equivalent_by_enumeration(first, second)
+            assert decided == truth, (b1, phi1, b2, phi2)
+
+
+class TestDispatch:
+    def test_same_clause_routes_to_theorem3(self):
+        first = insert("P(p)", "P(g)")
+        second = insert("!!P(p)", "P(g)")
+        assert are_equivalent(first, second)
+
+    def test_different_clause_routes_to_theorem4(self):
+        first = insert("P(p)", "P(p) & P(q)")
+        second = insert("P(p)", "P(q) & P(p)")
+        assert are_equivalent(first, second)
+
+    def test_operators_reduced_before_comparison(self):
+        from repro.ldml.ast import Delete, Modify
+
+        # DELETE t == MODIFY t TO BE !t (the paper's identity).
+        first = Delete(p, parse("P(g)"))
+        second = Modify(p, parse("!P(p)"), parse("P(g)"))
+        assert equivalent_by_enumeration(first, second)
+        assert are_equivalent(first, second)
+
+    def test_relevant_atoms(self):
+        first = insert("P(p)", "P(g)")
+        second = insert("P(q)")
+        assert set(relevant_atoms(first, second)) == {p, q, g}

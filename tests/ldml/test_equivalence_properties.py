@@ -1,0 +1,92 @@
+"""Property-based validation of the equivalence theorems.
+
+The exhaustive corpora in test_equivalence.py fix particular bodies; here
+hypothesis generates arbitrary small update pairs and checks the Theorem 3/4
+deciders against the brute-force oracle, plus metamorphic properties
+(equivalence is reflexive, symmetric, and respects the operator reductions).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ldml.ast import Assert_, Delete, Insert, Modify
+from repro.ldml.equivalence import (
+    are_equivalent,
+    equivalent_by_enumeration,
+    theorem3_equivalent,
+    theorem4_equivalent,
+)
+from repro.logic.syntax import And, Atom, FALSE, Implies, Not, Or, TRUE
+from repro.logic.terms import Predicate
+
+P = Predicate("P", 1)
+ATOMS = [P(n) for n in ("p", "q")]
+
+leaf = st.one_of(
+    st.sampled_from([Atom(a) for a in ATOMS]),
+    st.just(TRUE),
+    st.just(FALSE),
+)
+body = st.recursive(
+    st.one_of(leaf, st.builds(Not, leaf)),
+    lambda children: st.one_of(
+        st.builds(lambda l, r: And((l, r)), children, children),
+        st.builds(lambda l, r: Or((l, r)), children, children),
+    ),
+    max_leaves=3,
+)
+clause = st.one_of(leaf, st.builds(Not, leaf),
+                   st.builds(lambda l, r: And((l, r)), leaf, leaf))
+
+
+@settings(max_examples=100, deadline=None)
+@given(body, body, clause)
+def test_theorem3_matches_oracle(body1, body2, where):
+    first, second = Insert(body1, where), Insert(body2, where)
+    assert theorem3_equivalent(first, second) == equivalent_by_enumeration(
+        first, second
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(body, body, clause, clause)
+def test_theorem4_matches_oracle(body1, body2, where1, where2):
+    first, second = Insert(body1, where1), Insert(body2, where2)
+    assert theorem4_equivalent(first, second) == equivalent_by_enumeration(
+        first, second
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(body, clause)
+def test_equivalence_reflexive(body1, where):
+    update = Insert(body1, where)
+    assert are_equivalent(update, update)
+
+
+@settings(max_examples=60, deadline=None)
+@given(body, body, clause)
+def test_equivalence_symmetric(body1, body2, where):
+    first, second = Insert(body1, where), Insert(body2, where)
+    assert are_equivalent(first, second) == are_equivalent(second, first)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(ATOMS), clause)
+def test_operator_reductions_are_equivalent_updates(target, where):
+    """Each operator is update-equivalent to its Section 3.2 INSERT form."""
+    delete = Delete(target, where)
+    assert are_equivalent(delete, delete.to_insert())
+    assert equivalent_by_enumeration(delete, delete.to_insert())
+
+    assert_ = Assert_(where)
+    assert equivalent_by_enumeration(assert_, assert_.to_insert())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(ATOMS), body, clause)
+def test_modify_reduction_equivalent(target, body1, where):
+    modify = Modify(target, body1, where)
+    assert equivalent_by_enumeration(modify, modify.to_insert())

@@ -1,0 +1,128 @@
+"""Unit tests for the LDML surface parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ldml.ast import Assert_, Delete, Insert, Modify
+from repro.ldml.parser import parse_script, parse_update
+from repro.logic.parser import parse, parse_atom
+from repro.logic.syntax import TRUE
+
+
+class TestInsert:
+    def test_basic(self):
+        update = parse_update("INSERT Orders(800,32,1000) WHERE !Orders(800,32,100)")
+        assert isinstance(update, Insert)
+        assert update.body == parse("Orders(800,32,1000)")
+        assert update.where == parse("!Orders(800,32,100)")
+
+    def test_where_optional(self):
+        update = parse_update("INSERT P(a)")
+        assert update.where == TRUE
+
+    def test_disjunctive_body(self):
+        update = parse_update("INSERT Orders(700,32,9) | Orders(700,32,8) WHERE T")
+        assert len(update.body.operands) == 2
+
+    def test_truth_value_bodies(self):
+        # Paper example: INSERT F WHERE !InStock(32,1)
+        update = parse_update("INSERT F WHERE !InStock(32,1)")
+        assert str(update.body) == "F"
+
+    def test_case_insensitive_keywords(self):
+        update = parse_update("insert P(a) where P(b)")
+        assert isinstance(update, Insert)
+
+
+class TestDelete:
+    def test_basic(self):
+        update = parse_update("DELETE Orders(700,32,9) WHERE T")
+        assert isinstance(update, Delete)
+        assert update.target == parse_atom("Orders(700,32,9)")
+
+    def test_where_optional(self):
+        update = parse_update("DELETE P(a)")
+        assert update.where == TRUE
+
+    def test_compound_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_update("DELETE P(a) | P(b) WHERE T")
+
+
+class TestModify:
+    def test_basic(self):
+        update = parse_update(
+            "MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE T"
+        )
+        assert isinstance(update, Modify)
+        assert update.target == parse_atom("Orders(700,32,9)")
+        assert update.body == parse("Orders(700,32,1)")
+
+    def test_to_be_required(self):
+        with pytest.raises(ParseError):
+            parse_update("MODIFY P(a) P(b) WHERE T")
+
+    def test_disjunctive_to_be(self):
+        update = parse_update("MODIFY P(a) TO BE P(b) | P(c) WHERE P(d)")
+        assert len(update.body.operands) == 2
+
+    def test_to_be_spacing_flexible(self):
+        update = parse_update("MODIFY P(a) TO   BE P(b)")
+        assert isinstance(update, Modify)
+
+
+class TestAssert:
+    def test_basic(self):
+        update = parse_update("ASSERT P(a) & !P(b)")
+        assert isinstance(update, Assert_)
+        assert update.condition == parse("P(a) & !P(b)")
+
+    def test_assert_has_no_where(self):
+        # 'WHERE' inside ASSERT is just part of nothing — it fails to parse
+        # as a formula and is rejected.
+        with pytest.raises(ParseError):
+            parse_update("ASSERT P(a) WHERE P(b)")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "SELECT * FROM x", "INSERT", "INSERT WHERE T", "DELETE WHERE T",
+         "MODIFY P(a) TO BE", "UPSERT P(a)"],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_update(text)
+
+    def test_where_inside_parentheses_not_split(self):
+        # WHERE is only reserved at paren depth 0: inside an argument list
+        # it reads as an ordinary constant and the statement has no clause.
+        update = parse_update("INSERT P(WHERE)")
+        assert isinstance(update, Insert)
+        assert update.where == TRUE
+
+    def test_where_at_depth_zero_splits(self):
+        update = parse_update("INSERT (P(a) | P(b)) WHERE P(c)")
+        assert update.where == parse("P(c)")
+
+
+class TestScript:
+    def test_multiple_statements(self):
+        updates = parse_script(
+            "INSERT P(a); DELETE P(b) WHERE T; ASSERT P(a)"
+        )
+        assert [type(u) for u in updates] == [Insert, Delete, Assert_]
+
+    def test_comments_and_blanks(self):
+        updates = parse_script(
+            """
+            -- load initial data
+            INSERT P(a);   -- trailing comment
+
+            ASSERT P(a);
+            """
+        )
+        assert len(updates) == 2
+
+    def test_empty_script(self):
+        assert parse_script("  -- nothing\n") == []

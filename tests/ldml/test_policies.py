@@ -1,0 +1,156 @@
+"""Unit tests for alternative restriction policies (Section 3.4's remark).
+
+Each policy is validated the same way the main semantics is: the GUA
+variant obtained by altering (or dropping) formula (1) of Step 4 must
+commute with the policy's model-level definition on every tested instance.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.gua import GuaExecutor
+from repro.errors import UpdateError
+from repro.ldml.ast import Insert
+from repro.ldml.policies import (
+    POLICIES,
+    apply_with_policy,
+    check_policy,
+    update_worlds_with_policy,
+)
+from repro.logic.parser import parse, parse_atom
+from repro.logic.terms import Predicate
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+EMPTY = AlternativeWorld()
+
+
+class TestPolicyValidation:
+    def test_known_policies(self):
+        for policy in POLICIES:
+            assert check_policy(policy) == policy
+
+    def test_unknown_policy(self):
+        with pytest.raises(UpdateError):
+            check_policy("nihilist")
+
+    def test_executor_validates(self):
+        theory = ExtendedRelationalTheory()
+        with pytest.raises(UpdateError):
+            GuaExecutor(theory, restriction_policy="nihilist")
+
+    def test_simultaneous_requires_winslett(self):
+        from repro.ldml.simultaneous import SimultaneousInsert
+
+        theory = ExtendedRelationalTheory()
+        executor = GuaExecutor(theory, restriction_policy="amnesic")
+        with pytest.raises(UpdateError):
+            executor.apply_simultaneous(
+                SimultaneousInsert([("T", "P(a)"), ("T", "P(b)")])
+            )
+
+
+class TestModelLevelDefinitions:
+    def test_winslett_nonselected_unchanged(self):
+        update = Insert("P(a)", "P(c)")
+        assert apply_with_policy(update, EMPTY, "winslett") == {EMPTY}
+
+    def test_amnesic_nonselected_forgets(self):
+        update = Insert("P(a)", "P(c)")
+        produced = apply_with_policy(update, EMPTY, "amnesic")
+        # atoms(w) = {a} branch over both values even though phi is false.
+        assert produced == {EMPTY, AlternativeWorld([a])}
+
+    def test_guarded_acts_as_filter(self):
+        update = Insert("P(a)", "P(c)")
+        selected_bad = AlternativeWorld([c])        # phi true, w false
+        selected_good = AlternativeWorld([a, c])    # phi true, w true
+        assert apply_with_policy(update, selected_bad, "guarded") == frozenset()
+        assert apply_with_policy(update, selected_good, "guarded") == {
+            selected_good
+        }
+
+    def test_guarded_nonselected_unchanged(self):
+        update = Insert("P(a)", "P(c)")
+        assert apply_with_policy(update, EMPTY, "guarded") == {EMPTY}
+
+    def test_policies_agree_on_selected_winslett_amnesic(self):
+        update = Insert("P(a) | P(b)", "T")
+        w = apply_with_policy(update, EMPTY, "winslett")
+        f = apply_with_policy(update, EMPTY, "amnesic")
+        assert w == f
+
+    def test_update_worlds_with_policy(self):
+        update = Insert("P(a)", "P(c)")
+        worlds = {EMPTY, AlternativeWorld([c])}
+        result = update_worlds_with_policy(worlds, update, "guarded")
+        assert result == {EMPTY}
+
+
+class TestCommutativeDiagramPerPolicy:
+    SECTIONS = [[], ["P(a)"], ["P(a) | P(b)"], ["!P(a)", "P(b) <-> P(c)"]]
+    BODIES = ["P(a)", "!P(a)", "P(a) | P(b)", "P(a) & P(b)"]
+    CLAUSES = ["T", "P(a)", "P(b) & P(c)", "!P(b)"]
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_diagram(self, policy):
+        for section, body, clause in itertools.product(
+            self.SECTIONS, self.BODIES, self.CLAUSES
+        ):
+            theory = ExtendedRelationalTheory(formulas=section)
+            update = Insert(body, clause)
+            expected = update_worlds_with_policy(
+                theory.alternative_worlds(), update, policy
+            )
+            executor = GuaExecutor(theory, restriction_policy=policy)
+            executor.apply(update)
+            assert theory.world_set() == expected, (policy, section, body, clause)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_sequences(self, policy):
+        theory = ExtendedRelationalTheory(formulas=["P(a)", "P(a) | P(b)"])
+        worlds = frozenset(theory.alternative_worlds())
+        executor = GuaExecutor(theory, restriction_policy=policy)
+        for statement in ["INSERT P(c) WHERE P(b)", "INSERT !P(a) WHERE P(c)"]:
+            update = Insert(
+                parse(statement.split(" WHERE ")[0][7:]),
+                parse(statement.split(" WHERE ")[1]),
+            )
+            worlds = update_worlds_with_policy(worlds, update, policy)
+            executor.apply(update)
+            assert theory.world_set() == worlds, (policy, statement)
+
+
+class TestPoliciesDiffer:
+    """The point of equivalence theory: same inputs, different semantics."""
+
+    def test_three_way_separation(self):
+        update = Insert("P(a)", "P(c)")
+        world = AlternativeWorld([c])  # selected, body currently false
+        winslett = apply_with_policy(update, world, "winslett")
+        amnesic = apply_with_policy(update, world, "amnesic")
+        guarded = apply_with_policy(update, world, "guarded")
+        assert winslett == {AlternativeWorld([a, c])}
+        assert guarded == frozenset()
+        assert winslett == amnesic  # selected worlds coincide here
+        # ...but on a non-selected world amnesic branches:
+        assert apply_with_policy(update, EMPTY, "amnesic") != apply_with_policy(
+            update, EMPTY, "winslett"
+        )
+
+    def test_guarded_equals_assert_reduction(self):
+        """guarded INSERT w WHERE phi == winslett ASSERT (phi -> w)."""
+        from repro.ldml.ast import Assert_
+        from repro.ldml.semantics import apply_to_world
+
+        update = Insert("P(a) & P(b)", "P(c)")
+        equivalent = Assert_("P(c) -> P(a) & P(b)")
+        for size in range(4):
+            for atoms in itertools.combinations([a, b, c], size):
+                world = AlternativeWorld(atoms)
+                assert apply_with_policy(update, world, "guarded") == (
+                    apply_to_world(equivalent, world)
+                ), world

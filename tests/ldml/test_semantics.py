@@ -1,0 +1,189 @@
+"""Unit tests for the model-level update semantics (Section 3.2)."""
+
+import pytest
+
+from repro.ldml.ast import Assert_, Delete, Insert, Modify
+from repro.ldml.parser import parse_update
+from repro.ldml.semantics import (
+    apply_to_world,
+    branches_on,
+    changed_atoms,
+    run_script_on_worlds,
+    update_worlds,
+)
+from repro.logic.parser import parse_atom
+from repro.logic.terms import Predicate
+from repro.theory.dependencies import FunctionalDependency
+from repro.theory.schema import schema_from_dict
+from repro.theory.worlds import AlternativeWorld
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+EMPTY = AlternativeWorld()
+
+
+class TestInsertDefinition:
+    def test_selection_false_world_unchanged(self):
+        update = Insert("P(a)", "P(c)")  # c false in EMPTY
+        assert apply_to_world(update, EMPTY) == {EMPTY}
+
+    def test_atoms_outside_body_preserved(self):
+        update = Insert("P(a)", "T")
+        world = AlternativeWorld([b])
+        produced = apply_to_world(update, world)
+        assert produced == {AlternativeWorld([a, b])}
+
+    def test_body_overrides_previous_value(self):
+        # Section 3.2: the update overrides all previous information about
+        # the atoms of w — even if a was true, INSERT !a makes it false.
+        update = Insert("!P(a)", "T")
+        world = AlternativeWorld([a])
+        assert apply_to_world(update, world) == {EMPTY}
+
+    def test_paper_example_insert_a_or_b(self):
+        """Inserting a|b creates exactly three worlds regardless of the
+        original valuations of a and b."""
+        update = Insert("P(a) | P(b)", "T")
+        expected = {
+            AlternativeWorld([a, b]),
+            AlternativeWorld([a]),
+            AlternativeWorld([b]),
+        }
+        for start in [EMPTY, AlternativeWorld([a]), AlternativeWorld([a, b])]:
+            assert apply_to_world(update, start) == expected
+
+    def test_insert_true_is_identity(self):
+        update = Insert("T", "T")
+        world = AlternativeWorld([a])
+        assert apply_to_world(update, world) == {world}
+
+    def test_insert_false_annihilates(self):
+        update = Insert("F", "T")
+        assert apply_to_world(update, AlternativeWorld([a])) == frozenset()
+
+    def test_insert_false_only_where_selected(self):
+        update = Insert("F", "P(a)")
+        assert apply_to_world(update, AlternativeWorld([a])) == frozenset()
+        assert apply_to_world(update, AlternativeWorld([b])) == {
+            AlternativeWorld([b])
+        }
+
+    def test_tautological_body_resets_to_unknown(self):
+        # INSERT a|!a: "the truth valuation of g is now unknown".
+        update = Insert("P(a) | !P(a)", "T")
+        assert apply_to_world(update, AlternativeWorld([a])) == {
+            AlternativeWorld([a]),
+            EMPTY,
+        }
+
+
+class TestOperatorDefinitions:
+    def test_assert_keeps_satisfying_world(self):
+        world = AlternativeWorld([a])
+        assert apply_to_world(Assert_("P(a)"), world) == {world}
+
+    def test_assert_drops_violating_world(self):
+        assert apply_to_world(Assert_("P(a)"), EMPTY) == frozenset()
+
+    def test_delete_when_present(self):
+        world = AlternativeWorld([a, b])
+        assert apply_to_world(Delete(a, "T"), world) == {AlternativeWorld([b])}
+
+    def test_delete_when_absent_noop(self):
+        world = AlternativeWorld([b])
+        assert apply_to_world(Delete(a, "T"), world) == {world}
+
+    def test_modify_moves_tuple(self):
+        world = AlternativeWorld([a])
+        produced = apply_to_world(Modify(a, "P(b)", "T"), world)
+        assert produced == {AlternativeWorld([b])}
+
+    def test_modify_when_clause_false_noop(self):
+        world = AlternativeWorld([a])
+        produced = apply_to_world(Modify(a, "P(b)", "P(c)"), world)
+        assert produced == {world}
+
+    def test_paper_modify_quantity(self):
+        Orders = Predicate("Orders", 3)
+        old, new = Orders(700, 32, 9), Orders(700, 32, 1)
+        update = parse_update(
+            "MODIFY Orders(700,32,9) TO BE Orders(700,32,1) WHERE T"
+        )
+        assert apply_to_world(update, AlternativeWorld([old])) == {
+            AlternativeWorld([new])
+        }
+
+
+class TestWorldSetOperations:
+    def test_update_worlds_unions_s_sets(self):
+        worlds = {EMPTY, AlternativeWorld([a])}
+        result = update_worlds(worlds, Insert("P(b)", "P(a)"))
+        assert result == {EMPTY, AlternativeWorld([a, b])}
+
+    def test_update_worlds_dedups(self):
+        worlds = {AlternativeWorld([a]), AlternativeWorld([a, b])}
+        result = update_worlds(worlds, Insert("P(a) & !P(b)", "T"))
+        assert result == {AlternativeWorld([a])}
+
+    def test_run_script_in_order(self):
+        worlds = frozenset({EMPTY})
+        result = run_script_on_worlds(
+            worlds, [Insert("P(a)"), Modify(a, "P(b)"), Assert_("P(b)")]
+        )
+        assert result == {AlternativeWorld([b])}
+
+    def test_assert_can_empty_the_set(self):
+        result = run_script_on_worlds(frozenset({EMPTY}), [Assert_("P(a)")])
+        assert result == frozenset()
+
+
+class TestRule3Filtering:
+    def test_type_axioms_filter_produced_worlds(self):
+        schema = schema_from_dict({"R": ["A"]})
+        R, A = Predicate("R", 1), Predicate("A", 1)
+        update = Insert("R(x)", "T")  # no attribute tag
+        produced = apply_to_world(update, EMPTY, schema=schema)
+        assert produced == frozenset()  # new world violates R -> A
+
+    def test_tagged_insert_survives(self):
+        schema = schema_from_dict({"R": ["A"]})
+        update = Insert("R(x) & A(x)", "T")
+        produced = apply_to_world(update, EMPTY, schema=schema)
+        assert len(produced) == 1
+
+    def test_untouched_world_never_filtered(self):
+        schema = schema_from_dict({"R": ["A"]})
+        update = Insert("R(x)", "R(zz)")  # clause false everywhere here
+        produced = apply_to_world(update, EMPTY, schema=schema)
+        assert produced == {EMPTY}
+
+    def test_dependency_filters(self):
+        E = Predicate("E", 2)
+        fd = FunctionalDependency(E, [0], [1])
+        world = AlternativeWorld([E("k", "v1")])
+        update = Insert("E(k,v2)", "T")
+        produced = apply_to_world(update, world, dependencies=[fd])
+        assert produced == frozenset()
+
+    def test_dependency_allows_consistent(self):
+        E = Predicate("E", 2)
+        fd = FunctionalDependency(E, [0], [1])
+        world = AlternativeWorld([E("k", "v1")])
+        update = Insert("E(j,v2)", "T")
+        produced = apply_to_world(update, world, dependencies=[fd])
+        assert produced == {AlternativeWorld([E("k", "v1"), E("j", "v2")])}
+
+
+class TestDiagnostics:
+    def test_branches_on(self):
+        assert branches_on(Insert("P(a) | P(b)"), EMPTY)
+        assert not branches_on(Insert("P(a)"), EMPTY)
+
+    def test_changed_atoms(self):
+        update = Insert("P(a) & !P(b)", "T")
+        world = AlternativeWorld([b])
+        assert changed_atoms(update, world) == (a, b)
+
+    def test_changed_atoms_noop(self):
+        update = Insert("P(a)", "P(zz)")
+        assert changed_atoms(update, EMPTY) == ()

@@ -1,0 +1,200 @@
+"""Unit tests for simultaneous ground updates (the Section 4 reduction)."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.ldml.ast import Delete, Insert
+from repro.ldml.simultaneous import (
+    SimultaneousInsert,
+    apply_simultaneous_to_world,
+    differs_from_sequential,
+    update_worlds_simultaneously,
+)
+from repro.logic.parser import parse, parse_atom
+from repro.logic.terms import Predicate
+from repro.theory.schema import schema_from_dict
+from repro.theory.worlds import AlternativeWorld
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+EMPTY = AlternativeWorld()
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        sim = SimultaneousInsert([("P(a)", "P(b)"), ("T", "P(c)")])
+        assert len(sim) == 2
+
+    def test_from_ground_updates(self):
+        sim = SimultaneousInsert([Insert("P(a)"), Delete(b, "T")])
+        assert len(sim) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(UpdateError):
+            SimultaneousInsert([])
+
+    def test_atoms_accessors(self):
+        sim = SimultaneousInsert([("P(a)", "P(b)"), ("P(c)", "P(b)")])
+        assert sim.written_atoms() == {b}
+        assert sim.read_atoms() == {a, c}
+        assert sim.atoms() == {a, b, c}
+
+    def test_singleton_degenerates(self):
+        sim = SimultaneousInsert([("P(a)", "P(b)")])
+        single = sim.as_single_insert()
+        assert single == Insert("P(b)", "P(a)")
+
+    def test_no_single_for_pairs(self):
+        sim = SimultaneousInsert([("T", "P(a)"), ("T", "P(b)")])
+        assert sim.as_single_insert() is None
+
+    def test_equality(self):
+        assert SimultaneousInsert([("T", "P(a)"), ("T", "P(b)")]) == (
+            SimultaneousInsert([("T", "P(a)"), ("T", "P(b)")])
+        )
+
+
+class TestSemantics:
+    def test_no_active_clause_identity(self):
+        sim = SimultaneousInsert([("P(a)", "P(b)"), ("P(c)", "P(b)")])
+        assert apply_simultaneous_to_world(sim, EMPTY) == {EMPTY}
+
+    def test_all_clauses_active(self):
+        sim = SimultaneousInsert([("T", "P(a)"), ("T", "P(b)")])
+        assert apply_simultaneous_to_world(sim, EMPTY) == {
+            AlternativeWorld([a, b])
+        }
+
+    def test_clauses_read_original_world(self):
+        """The defining property: phi_2 sees the pre-update valuation even
+        when pair 1 writes its atoms."""
+        sim = SimultaneousInsert([("P(a)", "!P(a) & P(b)"), ("P(b)", "P(c)")])
+        world = AlternativeWorld([a])
+        # P(b) false *originally*, so pair 2 never fires.
+        assert apply_simultaneous_to_world(sim, world) == {
+            AlternativeWorld([b])
+        }
+
+    def test_differs_from_sequential_detects(self):
+        sim = SimultaneousInsert([("P(a)", "!P(a) & P(b)"), ("P(b)", "P(c)")])
+        assert differs_from_sequential(sim, AlternativeWorld([a]))
+
+    def test_independent_pairs_match_sequential(self):
+        sim = SimultaneousInsert([("T", "P(a)"), ("T", "P(b)")])
+        assert not differs_from_sequential(sim, EMPTY)
+
+    def test_joint_branching(self):
+        sim = SimultaneousInsert([("T", "P(a) | P(b)"), ("T", "P(c)")])
+        produced = apply_simultaneous_to_world(sim, EMPTY)
+        assert produced == {
+            AlternativeWorld([a, c]),
+            AlternativeWorld([b, c]),
+            AlternativeWorld([a, b, c]),
+        }
+
+    def test_jointly_unsatisfiable_bodies_annihilate(self):
+        sim = SimultaneousInsert([("T", "P(a)"), ("T", "!P(a)")])
+        assert apply_simultaneous_to_world(sim, EMPTY) == frozenset()
+
+    def test_rule3_filters(self):
+        schema = schema_from_dict({"R": ["A"]})
+        sim = SimultaneousInsert([("T", "R(x)")])
+        produced = apply_simultaneous_to_world(sim, EMPTY, schema=schema)
+        assert produced == frozenset()
+
+    def test_update_worlds_unions(self):
+        sim = SimultaneousInsert([("P(a)", "P(b)")])
+        worlds = {EMPTY, AlternativeWorld([a])}
+        result = update_worlds_simultaneously(worlds, sim)
+        assert result == {EMPTY, AlternativeWorld([a, b])}
+
+
+class TestGuaSimultaneous:
+    """Commutative diagram for the generalized algorithm."""
+
+    def _check(self, section, pairs):
+        from repro.core.gua import GuaExecutor
+        from repro.core.naive import NaiveWorldStore
+        from repro.theory.theory import ExtendedRelationalTheory
+
+        theory = ExtendedRelationalTheory(formulas=section)
+        sim = SimultaneousInsert(pairs)
+        naive = NaiveWorldStore.from_theory(theory).apply(sim)
+        GuaExecutor(theory).apply_simultaneous(sim)
+        assert theory.world_set() == naive.worlds, (section, pairs)
+
+    def test_independent_pairs(self):
+        self._check(["P(a)"], [("T", "P(b)"), ("T", "P(c)")])
+
+    def test_read_write_interference(self):
+        self._check(["P(a)"], [("P(a)", "!P(a) & P(b)"), ("P(b)", "P(c)")])
+
+    def test_overlapping_bodies(self):
+        self._check(
+            ["P(a) | P(b)"],
+            [("P(a)", "P(c) & !P(a)"), ("P(b)", "P(c) | P(a)")],
+        )
+
+    def test_branching_pairs(self):
+        self._check([], [("T", "P(a) | P(b)"), ("T", "P(b) | P(c)")])
+
+    def test_annihilating_pairs(self):
+        self._check(["P(a)"], [("P(a)", "P(b)"), ("P(a)", "!P(b)")])
+
+    def test_inactive_everywhere(self):
+        self._check(["P(a)"], [("P(zz)", "P(b)"), ("P(qq)", "!P(a)")])
+
+    def test_systematic_small_cases(self):
+        import itertools
+
+        sections = [[], ["P(a)"], ["P(a) | P(b)"]]
+        clauses = ["T", "P(a)", "!P(b)"]
+        bodies = ["P(b)", "!P(a)", "P(a) | P(c)"]
+        for section in sections:
+            for (phi1, w1), (phi2, w2) in itertools.combinations(
+                itertools.product(clauses, bodies), 2
+            ):
+                self._check(list(section), [(phi1, w1), (phi2, w2)])
+
+    def test_with_type_axioms(self):
+        from repro.core.gua import GuaExecutor
+        from repro.core.naive import NaiveWorldStore
+        from repro.theory.theory import ExtendedRelationalTheory
+
+        schema = schema_from_dict({"R": ["A"]})
+        theory = ExtendedRelationalTheory(schema=schema)
+        theory.add_formula("R(x) & A(x)")
+        # Pair 1 tags its tuple; pair 2 does not (its worlds must vanish).
+        sim = SimultaneousInsert(
+            [("T", "R(u) & A(u)"), ("R(x)", "R(v)")]
+        )
+        naive = NaiveWorldStore.from_theory(theory).apply(sim)
+        GuaExecutor(theory).apply_simultaneous(sim)
+        assert theory.world_set() == naive.worlds
+
+    def test_with_dependency(self):
+        from repro.core.gua import GuaExecutor
+        from repro.core.naive import NaiveWorldStore
+        from repro.theory.dependencies import FunctionalDependency
+        from repro.theory.theory import ExtendedRelationalTheory
+
+        E = Predicate("E", 2)
+        fd = FunctionalDependency(E, [0], [1])
+        theory = ExtendedRelationalTheory(dependencies=[fd])
+        theory.add_formula("E(k,v1)")
+        sim = SimultaneousInsert([("T", "E(k,v2)"), ("T", "E(j,v3)")])
+        naive = NaiveWorldStore.from_theory(theory).apply(sim)
+        GuaExecutor(theory).apply_simultaneous(sim)
+        assert theory.world_set() == naive.worlds
+
+    def test_singleton_equals_plain_apply(self):
+        from repro.core.gua import GuaExecutor
+        from repro.theory.theory import ExtendedRelationalTheory
+
+        left = ExtendedRelationalTheory(formulas=["P(a)"])
+        right = left.copy()
+        GuaExecutor(left).apply_simultaneous(
+            SimultaneousInsert([("P(a)", "P(b)")])
+        )
+        GuaExecutor(right).apply(Insert("P(b)", "P(a)"))
+        assert left.world_set() == right.world_set()

@@ -1,0 +1,125 @@
+"""Unit tests for the SQL-ish front end."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.ldml.ast import Delete, Insert, Modify
+from repro.ldml.sql import translate_sql, translate_sql_script
+from repro.logic.parser import parse, parse_atom
+from repro.theory.schema import schema_from_dict
+
+
+@pytest.fixture
+def schema():
+    return schema_from_dict(
+        {"Orders": ["OrderNo", "PartNo", "Quan"], "InStock": ["PartNo", "Quan"]}
+    )
+
+
+class TestInsertInto:
+    def test_basic(self, schema):
+        update = translate_sql("INSERT INTO Orders VALUES (700, 32, 9)", schema)
+        assert isinstance(update, Insert)
+        assert parse_atom("Orders(700,32,9)") in update.body.ground_atoms()
+
+    def test_attribute_tagging_applied(self, schema):
+        update = translate_sql("INSERT INTO Orders VALUES (700, 32, 9)", schema)
+        assert parse_atom("OrderNo(700)") in update.body.ground_atoms()
+
+    def test_no_schema_no_tagging(self):
+        update = translate_sql("INSERT INTO Orders VALUES (700, 32, 9)")
+        assert update.body == parse("Orders(700,32,9)")
+
+    def test_if_clause(self, schema):
+        update = translate_sql(
+            "INSERT INTO Orders VALUES (800, 32, 1000) IF !Orders(800,32,100)",
+            schema,
+        )
+        assert update.where == parse("!Orders(800,32,100)")
+
+    def test_arity_checked(self, schema):
+        with pytest.raises(SchemaError):
+            translate_sql("INSERT INTO Orders VALUES (700, 32)", schema)
+
+    def test_quoted_values(self):
+        update = translate_sql("INSERT INTO Names VALUES ('alice', \"bob\")")
+        atom = next(iter(update.body.ground_atoms()))
+        assert [c.name for c in atom.args] == ["alice", "bob"]
+
+
+class TestDeleteFrom:
+    def test_basic(self, schema):
+        update = translate_sql("DELETE FROM Orders VALUES (700, 32, 9)", schema)
+        assert isinstance(update, Delete)
+        assert update.target == parse_atom("Orders(700,32,9)")
+
+    def test_if_clause(self, schema):
+        update = translate_sql(
+            "DELETE FROM Orders VALUES (700, 32, 9) IF InStock(32, 9)", schema
+        )
+        assert update.where == parse("InStock(32,9)")
+
+
+class TestUpdateSet:
+    def test_basic(self, schema):
+        update = translate_sql(
+            "UPDATE Orders SET (700, 32, 9) TO (700, 32, 1)", schema
+        )
+        assert isinstance(update, Modify)
+        assert update.target == parse_atom("Orders(700,32,9)")
+        assert parse_atom("Orders(700,32,1)") in update.body.ground_atoms()
+
+    def test_new_tuple_tagged(self, schema):
+        update = translate_sql(
+            "UPDATE Orders SET (700, 32, 9) TO (700, 32, 1)", schema
+        )
+        assert parse_atom("Quan(1)") in update.body.ground_atoms()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "SELECT * FROM Orders",
+            "INSERT Orders VALUES (1)",
+            "INSERT INTO Orders (1,2,3)",
+            "DELETE Orders VALUES (1,2,3)",
+            "UPDATE Orders SET (1) WHERE T",
+            "",
+        ],
+    )
+    def test_unrecognized(self, statement):
+        with pytest.raises(ParseError):
+            translate_sql(statement)
+
+    def test_empty_values(self):
+        with pytest.raises(ParseError):
+            translate_sql("INSERT INTO Orders VALUES ()")
+
+
+class TestScript:
+    def test_script(self, schema):
+        updates = translate_sql_script(
+            """
+            -- initial load
+            INSERT INTO Orders VALUES (700, 32, 9);
+            DELETE FROM Orders VALUES (700, 32, 9);
+            UPDATE InStock SET (32, 5) TO (32, 4)
+            """,
+            schema,
+        )
+        assert [type(u) for u in updates] == [Insert, Delete, Modify]
+
+    def test_end_to_end_against_semantics(self, schema):
+        """The embedded SQL behaves like a complete-information database
+        when the theory has a single world."""
+        from repro.core.engine import Database
+
+        db = Database(schema=schema)
+        db.sql("INSERT INTO Orders VALUES (700, 32, 9)")
+        assert db.is_certain("Orders(700,32,9)")
+        db.sql("UPDATE Orders SET (700, 32, 9) TO (700, 32, 1)")
+        assert db.is_certain("Orders(700,32,1)")
+        assert not db.is_possible("Orders(700,32,9)")
+        db.sql("DELETE FROM Orders VALUES (700, 32, 1)")
+        assert not db.is_possible("Orders(700,32,1)")

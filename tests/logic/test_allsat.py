@@ -1,0 +1,93 @@
+"""Unit tests for all-model enumeration and projection."""
+
+from repro.logic.allsat import (
+    count_models,
+    iter_models,
+    iter_projected_models,
+    projected_model_set,
+)
+from repro.logic.cnf import clause, to_cnf, tseitin
+from repro.logic.parser import parse
+from repro.logic.semantics import evaluate
+from repro.logic.terms import Predicate
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+
+
+class TestIterModels:
+    def test_counts(self):
+        assert count_models(to_cnf(parse("P(a) | P(b)"))) == 3
+        assert count_models(to_cnf(parse("P(a) & P(b)"))) == 1
+        assert count_models(to_cnf(parse("P(a) <-> P(b)"))) == 2
+
+    def test_unsat_yields_nothing(self):
+        assert list(iter_models(to_cnf(parse("P(a) & !P(a)")))) == []
+
+    def test_empty_instance_single_model(self):
+        assert count_models([]) == 1
+
+    def test_no_duplicates(self):
+        models = list(iter_models(to_cnf(parse("P(a) | P(b) | P(c)"))))
+        assert len(models) == len(set(models)) == 7
+
+    def test_each_model_satisfies(self):
+        formula = parse("(P(a) -> P(b)) & (P(b) | P(c))")
+        for model in iter_models(to_cnf(formula)):
+            assert evaluate(formula, model, closed_world=False)
+
+    def test_limit(self):
+        models = list(iter_models(to_cnf(parse("P(a) | P(b)")), limit=2))
+        assert len(models) == 2
+
+    def test_cap_on_count(self):
+        assert count_models(to_cnf(parse("P(a) | P(b)")), cap=1) == 1
+
+
+class TestProjection:
+    def test_predicate_constants_projected_out(self):
+        # p <-> P(a): models pair p with P(a), projection has 2 entries
+        encoded = to_cnf(parse("(p <-> P(a)) & (P(a) | P(b))"))
+        worlds = projected_model_set(encoded, [a, b])
+        assert worlds == {
+            frozenset({a}),
+            frozenset({a, b}),
+            frozenset({b}),
+        }
+
+    def test_unconstrained_projection_atoms_false(self):
+        encoded = to_cnf(parse("P(a)"))
+        worlds = projected_model_set(encoded, [a, c])
+        assert worlds == {frozenset({a})}
+
+    def test_tseitin_selectors_invisible(self):
+        formula = parse("(P(a) & P(b)) | P(c)")
+        encoded = tseitin(formula)
+        worlds = projected_model_set(encoded.clauses, [a, b, c])
+        # Brute-force expected worlds:
+        from repro.logic.valuation import Valuation
+
+        expected = {
+            frozenset(at for at in (a, b, c) if v[at])
+            for v in Valuation.all_over([a, b, c])
+            if evaluate(formula, v, closed_world=False)
+        }
+        assert worlds == expected
+
+    def test_projection_count_not_model_count(self):
+        # Unconstrained predicate constants multiply the model count but
+        # not the projection count (they are invisible in worlds).
+        encoded = to_cnf(parse("P(a) & (p | q)"))
+        assert count_models(encoded) == 3
+        assert len(projected_model_set(encoded, [a])) == 1
+
+    def test_limit_respected(self):
+        encoded = to_cnf(parse("P(a) | P(b)"))
+        projections = list(iter_projected_models(encoded, [a, b], limit=2))
+        assert len(projections) == 2
+
+    def test_empty_projection(self):
+        encoded = to_cnf(parse("P(a)"))
+        projections = list(iter_projected_models(encoded, []))
+        assert len(projections) == 1
+        assert len(projections[0]) == 0

@@ -1,0 +1,152 @@
+"""Unit tests for clause-form conversions."""
+
+import pytest
+
+from repro.logic.cnf import clause, cnf_to_formula, to_cnf, tseitin
+from repro.logic.dnf import count_satisfying, satisfying_valuations, to_dnf, valuation_set
+from repro.logic.entailment import equivalent, is_satisfiable
+from repro.logic.parser import parse
+from repro.logic.sat import solve
+from repro.logic.terms import Predicate
+from repro.logic.valuation import Valuation
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+
+
+class TestToCnf:
+    def test_tautology_is_empty(self):
+        assert to_cnf(parse("P(a) | !P(a)")) == ()
+        assert to_cnf(parse("T")) == ()
+
+    def test_explicit_false_is_empty_clause(self):
+        assert to_cnf(parse("F")) == (frozenset(),)
+
+    def test_syntactic_contradiction_unsat(self):
+        # a & !a keeps its two unit clauses; their conjunction is unsat.
+        result = to_cnf(parse("P(a) & !P(a)"))
+        assert set(result) == {clause((a, True)), clause((a, False))}
+        assert solve(result) is None
+
+    def test_literal(self):
+        assert to_cnf(parse("P(a)")) == (clause((a, True)),)
+
+    def test_distribution(self):
+        result = to_cnf(parse("P(a) | (P(b) & P(c))"))
+        assert set(result) == {
+            clause((a, True), (b, True)),
+            clause((a, True), (c, True)),
+        }
+
+    def test_subsumption_removed(self):
+        # (a) & (a | b) -> just (a)
+        result = to_cnf(parse("P(a) & (P(a) | P(b))"))
+        assert result == (clause((a, True)),)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "P(a) -> P(b)",
+            "P(a) <-> (P(b) | P(c))",
+            "!(P(a) & (P(b) -> P(c)))",
+            "(P(a) | P(b)) & (!P(a) | P(c))",
+        ],
+    )
+    def test_equivalence_preserved(self, text):
+        original = parse(text)
+        rebuilt = cnf_to_formula(to_cnf(original))
+        assert equivalent(rebuilt, original)
+
+
+class TestTseitin:
+    @pytest.mark.parametrize(
+        "text,satisfiable",
+        [
+            ("P(a) & !P(a)", False),
+            ("P(a) | !P(a)", True),
+            ("(P(a) -> P(b)) & P(a) & !P(b)", False),
+            ("(P(a) | P(b)) & (!P(a) | P(c))", True),
+            ("T", True),
+            ("F", False),
+        ],
+    )
+    def test_equisatisfiable(self, text, satisfiable):
+        encoded = tseitin(parse(text))
+        assert (solve(encoded.clauses) is not None) is satisfiable
+
+    def test_selectors_are_predicate_constants(self):
+        encoded = tseitin(parse("(P(a) & P(b)) | P(c)"))
+        for selector in encoded.selectors:
+            assert selector.is_predicate_constant
+
+    def test_models_project_correctly(self):
+        # Every model of the encoding restricted to original atoms satisfies
+        # the original formula.
+        from repro.logic.allsat import iter_models
+        from repro.logic.semantics import evaluate
+
+        formula = parse("(P(a) -> P(b)) & (P(b) -> P(c))")
+        encoded = tseitin(formula)
+        for model in iter_models(encoded.clauses):
+            assert evaluate(formula, model)
+
+    def test_distinct_prefixes_do_not_collide(self):
+        first = tseitin(parse("P(a) | P(b)"), prefix="@x")
+        second = tseitin(parse("P(b) | P(c)"), prefix="@y")
+        assert not (first.selectors & second.selectors)
+
+    def test_linear_size(self):
+        # Tseitin must not explode on the CNF-hostile (a1&b1)|(a2&b2)|... form.
+        Q = Predicate("Q", 1)
+        parts = " | ".join(f"(P(x{i}) & Q(y{i}))" for i in range(12))
+        encoded = tseitin(parse(parts))
+        assert len(encoded.clauses) < 12 * 5
+
+
+class TestToDnf:
+    def test_tautology(self):
+        assert to_dnf(parse("T")) == (frozenset(),)
+        # a | !a keeps both unit terms; together they cover all valuations.
+        result = to_dnf(parse("P(a) | !P(a)"))
+        assert set(result) == {
+            frozenset({(a, True)}),
+            frozenset({(a, False)}),
+        }
+
+    def test_contradiction(self):
+        assert to_dnf(parse("F")) == ()
+        assert to_dnf(parse("P(a) & !P(a)")) == ()
+
+    def test_terms(self):
+        result = to_dnf(parse("(P(a) & P(b)) | P(c)"))
+        assert frozenset({(c, True)}) in result
+
+    def test_subsumption(self):
+        result = to_dnf(parse("P(a) | (P(a) & P(b))"))
+        assert result == (frozenset({(a, True)}),)
+
+
+class TestSatisfyingValuations:
+    def test_total_over_own_atoms(self):
+        for v in satisfying_valuations(parse("P(a) | P(b)")):
+            assert set(v) == {a, b}
+
+    def test_count(self):
+        assert count_satisfying(parse("P(a) | P(b)")) == 3
+        assert count_satisfying(parse("P(a) & P(b)")) == 1
+        assert count_satisfying(parse("P(a) <-> P(b)")) == 2
+
+    def test_truth_values(self):
+        assert count_satisfying(parse("T")) == 1  # the empty valuation
+        assert count_satisfying(parse("F")) == 0
+
+    def test_paper_example_p_vs_p_or_T(self):
+        # Section 3.4: INSERT p is not INSERT p|T — V-sets differ.
+        v_p = valuation_set(parse("P(a)"))
+        v_pT = valuation_set(parse("P(a) | T"))
+        assert v_p == {Valuation({a: True})}
+        assert v_pT == {Valuation({a: True}), Valuation({a: False})}
+
+    def test_agrees_with_satisfiability(self):
+        f = parse("(P(a) -> P(b)) & !P(b) & P(a)")
+        assert (count_satisfying(f) > 0) == is_satisfiable(f)

@@ -1,0 +1,95 @@
+"""Unit tests for satisfiability / validity / entailment / equivalence."""
+
+import pytest
+
+from repro.logic.entailment import (
+    entails,
+    entails_all,
+    equivalent,
+    is_satisfiable,
+    is_valid,
+)
+from repro.logic.parser import parse
+from repro.logic.syntax import conjoin
+from repro.logic.terms import Predicate
+
+P = Predicate("P", 1)
+
+
+class TestSatisfiable:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("T", True),
+            ("F", False),
+            ("P(a)", True),
+            ("P(a) & !P(a)", False),
+            ("(P(a) -> P(b)) & P(a) & !P(b)", False),
+            ("P(a) <-> !P(a)", False),
+        ],
+    )
+    def test_cases(self, text, expected):
+        assert is_satisfiable(parse(text)) is expected
+
+    def test_large_formula_uses_sat_path(self):
+        # > truth-table limit atoms, still satisfiable
+        parts = " & ".join(f"(P(a{i}) | P(b{i}))" for i in range(15))
+        assert is_satisfiable(parse(parts))
+
+    def test_large_unsat(self):
+        parts = " & ".join(f"(P(x{i}) -> P(x{i+1}))" for i in range(14))
+        assert not is_satisfiable(parse(f"P(x0) & {parts} & !P(x14)"))
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("T", True),
+            ("F", False),
+            ("P(a) | !P(a)", True),
+            ("P(a) -> P(a)", True),
+            ("P(a)", False),
+            ("(P(a) & (P(a) -> P(b))) -> P(b)", True),  # modus ponens
+            ("((P(a) -> P(b)) & (P(b) -> P(c))) -> (P(a) -> P(c))", True),
+        ],
+    )
+    def test_cases(self, text, expected):
+        assert is_valid(parse(text)) is expected
+
+
+class TestEntailment:
+    def test_conjunction_entails_conjunct(self):
+        assert entails(parse("P(a) & P(b)"), parse("P(a)"))
+
+    def test_disjunct_does_not_entail(self):
+        assert not entails(parse("P(a) | P(b)"), parse("P(a)"))
+
+    def test_false_entails_everything(self):
+        assert entails(parse("F"), parse("P(z)"))
+
+    def test_entails_all(self):
+        premises = [parse("P(a)"), parse("P(a) -> P(b)")]
+        assert entails_all(premises, parse("P(b)"))
+        assert not entails_all(premises, parse("P(c)"))
+
+
+class TestEquivalence:
+    def test_de_morgan(self):
+        assert equivalent(parse("!(P(a) & P(b))"), parse("!P(a) | !P(b)"))
+
+    def test_implication_normal_form(self):
+        assert equivalent(parse("P(a) -> P(b)"), parse("!P(a) | P(b)"))
+
+    def test_not_equivalent(self):
+        assert not equivalent(parse("P(a)"), parse("P(b)"))
+
+    def test_syntax_insensitive(self):
+        # Logical equivalence ignores operand order (unlike formula ==).
+        assert equivalent(parse("P(a) & P(b)"), parse("P(b) & P(a)"))
+
+    def test_paper_distinction_g_or_T(self):
+        # g|T is logically equivalent to T, not to g — the source of the
+        # update-semantics subtlety in Section 3.2.
+        assert equivalent(parse("P(g) | T"), parse("T"))
+        assert not equivalent(parse("P(g) | T"), parse("P(g)"))

@@ -1,0 +1,156 @@
+"""Unit tests for the formula parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.parser import parse, parse_atom, tokenize
+from repro.logic.printer import to_text
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.logic.terms import Constant, GroundAtom, Predicate, PredicateConstant
+
+
+class TestTokenizer:
+    def test_basic(self):
+        kinds = [t.kind for t in tokenize("P(a) & !Q(b)")]
+        assert kinds == ["IDENT", "LPAREN", "IDENT", "RPAREN", "AND", "NOT",
+                         "IDENT", "LPAREN", "IDENT", "RPAREN"]
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("P(a) % Q(b)")
+
+    def test_numbers(self):
+        tokens = tokenize("Orders(700,32,9)")
+        assert [t.value for t in tokens if t.kind == "NUMBER"] == ["700", "32", "9"]
+
+    def test_unicode_connectives(self):
+        kinds = [t.kind for t in tokenize("a ∧ b ∨ ¬c → d ↔ e")]
+        assert "AND" in kinds and "OR" in kinds and "NOT" in kinds
+        assert "IMPLIES" in kinds and "IFF" in kinds
+
+
+class TestAtoms:
+    def test_ground_atom(self):
+        f = parse("Orders(700,32,9)")
+        assert isinstance(f, Atom)
+        assert isinstance(f.atom, GroundAtom)
+        assert f.atom.predicate == Predicate("Orders", 3)
+
+    def test_bare_identifier_is_predicate_constant(self):
+        f = parse("p")
+        assert isinstance(f, Atom)
+        assert isinstance(f.atom, PredicateConstant)
+
+    def test_truth_values(self):
+        assert parse("T") == TRUE
+        assert parse("F") == FALSE
+
+    def test_truth_value_not_callable(self):
+        with pytest.raises(ParseError):
+            parse("T(a)")
+
+    def test_quoted_string_constant(self):
+        f = parse("Name('alice smith')")
+        assert f.atom.args == (Constant("alice smith"),)
+
+    def test_parse_atom_helper(self):
+        atom = parse_atom("P(a)")
+        assert isinstance(atom, GroundAtom)
+
+    def test_parse_atom_rejects_compound(self):
+        with pytest.raises(ParseError):
+            parse_atom("P(a) & P(b)")
+
+    def test_parse_atom_rejects_predicate_constant(self):
+        with pytest.raises(ParseError):
+            parse_atom("p")
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        f = parse("a | b & c")
+        assert isinstance(f, Or)
+        assert isinstance(f.operands[1], And)
+
+    def test_not_binds_tightest(self):
+        f = parse("!a & b")
+        assert isinstance(f, And)
+        assert isinstance(f.operands[0], Not)
+
+    def test_implies_binds_looser_than_or(self):
+        f = parse("a | b -> c")
+        assert isinstance(f, Implies)
+        assert isinstance(f.antecedent, Or)
+
+    def test_implies_right_associative(self):
+        f = parse("a -> b -> c")
+        assert isinstance(f, Implies)
+        assert isinstance(f.consequent, Implies)
+
+    def test_iff_binds_loosest(self):
+        f = parse("a -> b <-> c")
+        assert isinstance(f, Iff)
+        assert isinstance(f.left, Implies)
+
+    def test_parentheses_override(self):
+        f = parse("(a | b) & c")
+        assert isinstance(f, And)
+
+    def test_nested_parens(self):
+        f = parse("((a))")
+        assert f == Atom(PredicateConstant("a"))
+
+    def test_double_negation_parses(self):
+        f = parse("!!a")
+        assert isinstance(f, Not) and isinstance(f.operand, Not)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "&", "a &", "a & & b", "(a", "a)", "P(", "P()", "P(a,)", "a b"],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("a & )")
+        assert "offset" in str(excinfo.value)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "T",
+            "F",
+            "P(a)",
+            "!P(a)",
+            "P(a) & Q(b)",
+            "P(a) | Q(b) | R(c)",
+            "P(a) -> Q(b)",
+            "P(a) <-> Q(b)",
+            "(P(a) | Q(b)) & !R(c)",
+            "P(a) -> Q(b) -> R(c)",
+            "Orders(700,32,9) & !InStock(32,1)",
+            "!(P(a) & Q(b))",
+            "p & (q | !r)",
+        ],
+    )
+    def test_parse_print_parse(self, text):
+        first = parse(text)
+        assert parse(to_text(first)) == first
+
+    def test_unicode_input_equivalent(self):
+        assert parse("a ∧ ¬b → c") == parse("a & !b -> c")

@@ -1,0 +1,71 @@
+"""Unit tests for the pretty-printer."""
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.logic.printer import to_text, to_unicode
+from repro.logic.syntax import And, Atom, Iff, Implies, Not, Or, TRUE
+from repro.logic.terms import Predicate
+
+P = Predicate("P", 1)
+a, b, c = Atom(P("a")), Atom(P("b")), Atom(P("c"))
+
+
+class TestMinimalParentheses:
+    def test_flat_and(self):
+        assert to_text(And((a, b, c))) == "P(a) & P(b) & P(c)"
+
+    def test_or_of_ands_needs_no_parens(self):
+        f = Or((And((a, b)), c))
+        assert to_text(f) == "P(a) & P(b) | P(c)"
+
+    def test_and_of_ors_needs_parens(self):
+        f = And((Or((a, b)), c))
+        assert to_text(f) == "(P(a) | P(b)) & P(c)"
+
+    def test_not_of_compound(self):
+        assert to_text(Not(And((a, b)))) == "!(P(a) & P(b))"
+
+    def test_not_of_atom(self):
+        assert to_text(Not(a)) == "!P(a)"
+
+    def test_implies_right_assoc_no_parens(self):
+        f = Implies(a, Implies(b, c))
+        assert to_text(f) == "P(a) -> P(b) -> P(c)"
+
+    def test_implies_left_nesting_parenthesized(self):
+        f = Implies(Implies(a, b), c)
+        assert to_text(f) == "(P(a) -> P(b)) -> P(c)"
+
+    def test_iff_operands_parenthesize_iff(self):
+        f = Iff(Iff(a, b), c)
+        assert to_text(f) == "(P(a) <-> P(b)) <-> P(c)"
+
+    def test_truth_values(self):
+        assert to_text(TRUE) == "T"
+
+
+class TestRoundTripOnPrinted:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            And((Or((a, b)), Not(c))),
+            Implies(And((a, b)), Or((b, c))),
+            Iff(Not(a), Implies(b, c)),
+            Or((a, And((b, Not(c))))),
+        ],
+    )
+    def test_reparses_to_same(self, formula):
+        assert parse(to_text(formula)) == formula
+
+
+class TestUnicode:
+    def test_connectives(self):
+        f = Implies(And((a, Not(b))), c)
+        text = to_unicode(f)
+        assert "∧" in text and "→" in text and "¬" in text
+
+    def test_no_ascii_remnants(self):
+        f = Iff(a, Or((b, c)))
+        text = to_unicode(f)
+        assert "->" not in text and "&" not in text and "|" not in text

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the logic substrate.
+
+Strategies build random ground formulas over a small atom pool; the
+properties are the load-bearing invariants the rest of the library rests on:
+parser/printer round-trip, equivalence preservation of every normal form and
+the simplifier, SAT-vs-truth-table agreement, and substitution algebra.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic.cnf import cnf_to_formula, to_cnf, tseitin
+from repro.logic.dnf import satisfying_valuations, to_dnf
+from repro.logic.entailment import equivalent, is_satisfiable
+from repro.logic.parser import parse
+from repro.logic.printer import to_text
+from repro.logic.sat import solve
+from repro.logic.semantics import evaluate
+from repro.logic.simplify import simplify
+from repro.logic.substitution import GroundSubstitution
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.logic.terms import Predicate, PredicateConstant
+from repro.logic.transform import fold_constants, to_nnf
+from repro.logic.valuation import Valuation
+
+P = Predicate("P", 1)
+ATOMS = [P(name) for name in ("a", "b", "c", "d")]
+
+leaves = st.one_of(
+    st.sampled_from([Atom(a) for a in ATOMS]),
+    st.just(TRUE),
+    st.just(FALSE),
+)
+
+
+def _compound(children):
+    return st.one_of(
+        st.builds(Not, children),
+        st.builds(lambda l, r: And((l, r)), children, children),
+        st.builds(lambda l, r: Or((l, r)), children, children),
+        st.builds(Implies, children, children),
+        st.builds(Iff, children, children),
+    )
+
+
+formulas = st.recursive(leaves, _compound, max_leaves=12)
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas)
+def test_parse_print_round_trip(formula):
+    assert parse(to_text(formula)) == formula
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas)
+def test_nnf_preserves_equivalence(formula):
+    assert equivalent(to_nnf(formula), formula)
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas)
+def test_fold_constants_preserves_equivalence(formula):
+    assert equivalent(fold_constants(formula), formula)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas)
+def test_cnf_round_trip_equivalent(formula):
+    assert equivalent(cnf_to_formula(to_cnf(formula)), formula)
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas)
+def test_dnf_terms_each_entail_formula(formula):
+    from repro.logic.syntax import conjoin, literal
+
+    for term in to_dnf(formula):
+        lits = [literal(a, p) for a, p in sorted(term, key=lambda lv: str(lv[0]))]
+        witness = conjoin(lits) if lits else TRUE
+        # every DNF term forces the formula true
+        for valuation in Valuation.all_over(formula.atoms() | witness.atoms()):
+            if evaluate(witness, valuation, closed_world=False):
+                assert evaluate(formula, valuation, closed_world=False)
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas)
+def test_simplify_preserves_equivalence(formula):
+    assert equivalent(simplify(formula), formula)
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas)
+def test_sat_matches_truth_table(formula):
+    brute = any(
+        evaluate(formula, v, closed_world=False)
+        for v in Valuation.all_over(formula.atoms())
+    )
+    assert is_satisfiable(formula) is brute
+    # Tseitin encoding agrees too.
+    assert (solve(tseitin(formula).clauses) is not None) is brute
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas)
+def test_satisfying_valuations_are_exactly_the_models(formula):
+    atoms = formula.atoms()
+    expected = {
+        v
+        for v in Valuation.all_over(atoms)
+        if evaluate(formula, v, closed_world=False)
+    }
+    assert set(satisfying_valuations(formula)) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas)
+def test_substitution_round_trip(formula):
+    mapping = {a: PredicateConstant(f"@s{i}") for i, a in enumerate(ATOMS)}
+    sigma = GroundSubstitution(mapping)
+    renamed = sigma.apply(formula)
+    assert sigma.inverse().apply(renamed) == formula
+    # No source atoms survive.
+    assert not (renamed.atoms() & set(ATOMS))
+
+
+@settings(max_examples=100, deadline=None)
+@given(formulas, st.sampled_from(ATOMS), st.booleans())
+def test_shannon_cofactors(formula, atom, value):
+    """condition(f, {a: v}) agrees with f wherever a == v."""
+    from repro.logic.transform import condition
+
+    cofactor = condition(formula, {atom: value})
+    for valuation in Valuation.all_over(formula.atoms() | {atom}):
+        if valuation[atom] is value:
+            assert evaluate(cofactor, valuation, closed_world=False) == evaluate(
+                formula, valuation, closed_world=False
+            )

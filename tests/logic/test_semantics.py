@@ -1,0 +1,89 @@
+"""Unit tests for formula evaluation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.logic.parser import parse
+from repro.logic.semantics import evaluate, satisfies
+from repro.logic.terms import Predicate
+from repro.logic.valuation import Valuation
+
+P = Predicate("P", 1)
+a, b = P("a"), P("b")
+
+
+class TestConnectives:
+    def test_truth_values(self):
+        assert evaluate(parse("T"), Valuation())
+        assert not evaluate(parse("F"), Valuation())
+
+    def test_atom(self):
+        assert evaluate(parse("P(a)"), Valuation({a: True}))
+        assert not evaluate(parse("P(a)"), Valuation({a: False}))
+
+    def test_not(self):
+        assert evaluate(parse("!P(a)"), Valuation({a: False}))
+
+    @pytest.mark.parametrize(
+        "va,vb,expected",
+        [(True, True, True), (True, False, False),
+         (False, True, False), (False, False, False)],
+    )
+    def test_and(self, va, vb, expected):
+        v = Valuation({a: va, b: vb})
+        assert evaluate(parse("P(a) & P(b)"), v) is expected
+
+    @pytest.mark.parametrize(
+        "va,vb,expected",
+        [(True, True, True), (True, False, True),
+         (False, True, True), (False, False, False)],
+    )
+    def test_or(self, va, vb, expected):
+        v = Valuation({a: va, b: vb})
+        assert evaluate(parse("P(a) | P(b)"), v) is expected
+
+    @pytest.mark.parametrize(
+        "va,vb,expected",
+        [(True, True, True), (True, False, False),
+         (False, True, True), (False, False, True)],
+    )
+    def test_implies(self, va, vb, expected):
+        v = Valuation({a: va, b: vb})
+        assert evaluate(parse("P(a) -> P(b)"), v) is expected
+
+    @pytest.mark.parametrize(
+        "va,vb,expected",
+        [(True, True, True), (True, False, False),
+         (False, True, False), (False, False, True)],
+    )
+    def test_iff(self, va, vb, expected):
+        v = Valuation({a: va, b: vb})
+        assert evaluate(parse("P(a) <-> P(b)"), v) is expected
+
+
+class TestPolicies:
+    def test_closed_world_default(self):
+        # Missing atoms are false — matches the completion axioms.
+        assert not evaluate(parse("P(a)"), Valuation())
+        assert evaluate(parse("!P(a)"), Valuation())
+
+    def test_strict_raises(self):
+        with pytest.raises(ReproError):
+            evaluate(parse("P(a)"), Valuation(), closed_world=False)
+
+    def test_strict_ok_when_assigned(self):
+        assert evaluate(parse("P(a)"), Valuation({a: True}), closed_world=False)
+
+    def test_satisfies_alias(self):
+        assert satisfies(Valuation({a: True}), parse("P(a)"))
+
+
+class TestCompound:
+    def test_nested(self):
+        f = parse("(P(a) -> P(b)) & (P(b) -> P(a))")
+        assert evaluate(f, Valuation({a: True, b: True}))
+        assert not evaluate(f, Valuation({a: True, b: False}))
+
+    def test_nary_short_circuit_semantics(self):
+        f = parse("P(a) | P(b) | P(c)")
+        assert evaluate(f, Valuation({P("c"): True}))

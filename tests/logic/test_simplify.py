@@ -1,0 +1,87 @@
+"""Unit tests for the heuristic formula simplifier."""
+
+import pytest
+
+from repro.logic.entailment import equivalent
+from repro.logic.parser import parse
+from repro.logic.simplify import simplify, total_size
+from repro.logic.syntax import FALSE, TRUE
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("P(a) & P(a)", "P(a)"),                      # idempotence
+            ("P(a) | P(a)", "P(a)"),
+            ("P(a) & !P(a)", "F"),                        # complementation
+            ("P(a) | !P(a)", "T"),
+            ("P(a) & (P(a) | P(b))", "P(a)"),             # absorption
+            ("P(a) | (P(a) & P(b))", "P(a)"),
+            ("P(a) & (!P(a) | P(b))", "P(a) & P(b)"),     # unit resolution
+            ("P(a) -> P(a)", "T"),
+            ("P(a) <-> P(a)", "T"),
+            ("P(a) <-> !P(a)", "F"),
+            ("!!P(a)", "P(a)"),
+            ("(P(a) & T) | (P(b) & F)", "P(a)"),
+        ],
+    )
+    def test_simplifies_to(self, text, expected):
+        assert simplify(parse(text)) == parse(expected)
+
+    def test_already_minimal_unchanged(self):
+        f = parse("P(a) -> P(b)")
+        assert simplify(f) == f
+
+    def test_atom_unchanged(self):
+        assert simplify(parse("P(a)")) == parse("P(a)")
+
+
+class TestEquivalencePreservation:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(P(a) & (P(a) | P(b))) | (P(c) & !P(c))",
+            "((P(a) -> P(b)) & P(a)) -> P(b)",
+            "(P(a) | P(b)) & (P(a) | !P(b)) & (!P(a) | P(b))",
+            "!(P(a) & !(P(b) | P(a)))",
+            "(P(a) <-> P(b)) & (P(b) <-> P(c)) & P(a)",
+            "(T -> P(a)) & (P(b) -> F)",
+        ],
+    )
+    def test_preserved(self, text):
+        original = parse(text)
+        assert equivalent(simplify(original), original)
+
+    @pytest.mark.parametrize("text", ["(P(a) & (P(a) | P(b)))", "(P(a) | P(b)) & (P(a) | !P(b))"])
+    def test_never_grows(self, text):
+        original = parse(text)
+        assert simplify(original).size() <= original.size()
+
+
+class TestSemanticMinimization:
+    def test_tautology_detected(self):
+        f = parse("(P(a) -> P(b)) | (P(b) -> P(a))")
+        assert simplify(f) == TRUE
+
+    def test_contradiction_detected(self):
+        f = parse("(P(a) | P(b)) & !P(a) & !P(b)")
+        assert simplify(f) == FALSE
+
+    def test_collapses_redundant_structure(self):
+        f = parse("(P(a) & P(b)) | (P(a) & !P(b))")
+        assert simplify(f) == parse("P(a)")
+
+    def test_semantic_disabled(self):
+        f = parse("(P(a) & P(b)) | (P(a) & !P(b))")
+        result = simplify(f, semantic=False)
+        assert equivalent(result, parse("P(a)"))  # still equivalent
+
+
+class TestTotalSize:
+    def test_sums_nodes(self):
+        formulas = [parse("P(a)"), parse("P(a) & P(b)")]
+        assert total_size(formulas) == 1 + 3
+
+    def test_empty(self):
+        assert total_size([]) == 0

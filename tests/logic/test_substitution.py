@@ -1,0 +1,83 @@
+"""Unit tests for ground-atom substitutions (the paper's sigma)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.logic.parser import parse
+from repro.logic.printer import to_text
+from repro.logic.substitution import GroundSubstitution, rename_atoms
+from repro.logic.terms import Predicate, PredicateConstant
+
+P = Predicate("P", 1)
+a, b = P("a"), P("b")
+pa, pb = PredicateConstant("@pa"), PredicateConstant("@pb")
+
+
+class TestApply:
+    def test_replaces_all_occurrences(self):
+        sigma = GroundSubstitution({a: pa})
+        result = sigma.apply(parse("P(a) & (P(a) | P(b))"))
+        assert to_text(result) == "@pa & (@pa | P(b))"
+
+    def test_untouched_formula_shared(self):
+        sigma = GroundSubstitution({a: pa})
+        formula = parse("P(b) | P(c)")
+        assert sigma.apply(formula) is formula
+
+    def test_empty_substitution_is_identity(self):
+        sigma = GroundSubstitution({})
+        formula = parse("P(a)")
+        assert sigma.apply(formula) is formula
+
+    def test_inside_every_connective(self):
+        sigma = GroundSubstitution({a: pa})
+        result = sigma.apply(parse("!P(a) & (P(a) -> P(a)) <-> P(a) | P(a)"))
+        assert a not in result.atoms()
+        assert pa in result.atoms()
+
+    def test_truth_values_untouched(self):
+        sigma = GroundSubstitution({a: pa})
+        assert to_text(sigma.apply(parse("T | F"))) == "T | F"
+
+    def test_simultaneous(self):
+        sigma = GroundSubstitution({a: pa, b: pb})
+        result = sigma.apply(parse("P(a) | P(b)"))
+        assert result.atoms() == {pa, pb}
+
+    def test_predicate_constant_source(self):
+        # Substitutions may also rename predicate constants (used in proofs).
+        sigma = GroundSubstitution({pa: pb})
+        assert sigma.apply(parse("@pa")).atoms() == {pb}
+
+
+class TestAlgebra:
+    def test_inverse_round_trip(self):
+        sigma = GroundSubstitution({a: pa, b: pb})
+        formula = parse("P(a) & !P(b)")
+        there = sigma.apply(formula)
+        back = sigma.inverse().apply(there)
+        assert back == formula
+
+    def test_inverse_requires_injective(self):
+        sigma = GroundSubstitution({a: pa, b: pa})
+        with pytest.raises(ReproError):
+            sigma.inverse()
+
+    def test_mapping_protocol(self):
+        sigma = GroundSubstitution({a: pa})
+        assert sigma[a] == pa
+        assert len(sigma) == 1
+        assert a in sigma
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(ReproError):
+            GroundSubstitution({a: "x"})  # type: ignore[dict-item]
+
+    def test_rename_atoms_helper(self):
+        result = rename_atoms(parse("P(a)"), {a: pa})
+        assert result.atoms() == {pa}
+
+    def test_items_sorted_deterministic(self):
+        s1 = GroundSubstitution({a: pa, b: pb})
+        s2 = GroundSubstitution({b: pb, a: pa})
+        assert s1.items_sorted() == s2.items_sorted()

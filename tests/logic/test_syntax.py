@@ -1,0 +1,144 @@
+"""Unit tests for the formula AST."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bottom,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    atom,
+    conjoin,
+    disjoin,
+    literal,
+)
+from repro.logic.terms import Predicate, PredicateConstant
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+
+
+class TestConstruction:
+    def test_operator_sugar(self):
+        f = Atom(a) & ~Atom(b) | TRUE
+        assert isinstance(f, Or)
+
+    def test_implies_builder(self):
+        f = Atom(a).implies(Atom(b))
+        assert isinstance(f, Implies)
+        assert f.antecedent == Atom(a)
+
+    def test_iff_builder(self):
+        f = Atom(a).iff(Atom(b))
+        assert isinstance(f, Iff)
+
+    def test_and_flattens(self):
+        f = And((And((Atom(a), Atom(b))), Atom(c)))
+        assert len(f.operands) == 3
+
+    def test_or_flattens(self):
+        f = Or((Atom(a), Or((Atom(b), Atom(c)))))
+        assert len(f.operands) == 3
+
+    def test_and_does_not_flatten_or(self):
+        f = And((Or((Atom(a), Atom(b))), Atom(c)))
+        assert len(f.operands) == 2
+
+    def test_nary_needs_two_operands(self):
+        with pytest.raises(ReproError):
+            And((Atom(a),))
+
+    def test_atom_rejects_non_atoms(self):
+        with pytest.raises(ReproError):
+            Atom("a")  # type: ignore[arg-type]
+
+    def test_atoms_lift_automatically(self):
+        f = And((a, b))  # raw GroundAtoms accepted
+        assert f.operands == (Atom(a), Atom(b))
+
+
+class TestIdentity:
+    def test_syntactic_equality(self):
+        assert Atom(a) & Atom(b) == Atom(a) & Atom(b)
+
+    def test_order_matters(self):
+        # LDML semantics are syntax-sensitive; And/Or preserve order.
+        assert Atom(a) & Atom(b) != Atom(b) & Atom(a)
+
+    def test_top_bottom_singletons_equal(self):
+        assert Top() == TRUE
+        assert Bottom() == FALSE
+        assert TRUE != FALSE
+
+    def test_hash_stable(self):
+        f = Atom(a).implies(Atom(b))
+        assert hash(f) == hash(Atom(a).implies(Atom(b)))
+
+    def test_usable_in_sets(self):
+        assert len({Atom(a), Atom(a), Atom(b)}) == 2
+
+
+class TestStructure:
+    def test_atoms_collects_all(self):
+        f = (Atom(a) & ~Atom(b)).implies(Atom(c))
+        assert f.atoms() == {a, b, c}
+
+    def test_atoms_cached(self):
+        f = Atom(a) & Atom(b)
+        assert f.atoms() is f.atoms()
+
+    def test_ground_vs_predicate_constants(self):
+        pc = PredicateConstant("@p")
+        f = Atom(a) & Atom(pc)
+        assert f.ground_atoms() == {a}
+        assert f.predicate_constants() == {pc}
+
+    def test_children(self):
+        f = Iff(Atom(a), Atom(b))
+        assert f.children() == (Atom(a), Atom(b))
+
+    def test_walk_preorder(self):
+        f = Atom(a) & Atom(b)
+        nodes = list(f.walk())
+        assert nodes[0] is f
+        assert len(nodes) == 3
+
+    def test_size(self):
+        assert TRUE.size() == 1
+        assert (Atom(a) & Atom(b)).size() == 3
+        assert Not(Atom(a)).size() == 2
+
+    def test_size_nested(self):
+        f = (Atom(a) | Atom(b)).implies(~Atom(c))
+        assert f.size() == 1 + 3 + 2
+
+
+class TestCombinators:
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]) == TRUE
+
+    def test_conjoin_singleton(self):
+        assert conjoin([Atom(a)]) == Atom(a)
+
+    def test_conjoin_many(self):
+        assert conjoin([Atom(a), Atom(b)]) == And((Atom(a), Atom(b)))
+
+    def test_disjoin_empty_is_false(self):
+        assert disjoin([]) == FALSE
+
+    def test_disjoin_singleton(self):
+        assert disjoin([Atom(b)]) == Atom(b)
+
+    def test_literal(self):
+        assert literal(a, True) == Atom(a)
+        assert literal(a, False) == Not(Atom(a))
+
+    def test_atom_alias(self):
+        assert atom(a) == Atom(a)

@@ -1,0 +1,179 @@
+"""Unit tests for repro.logic.terms."""
+
+import pytest
+
+from repro.errors import LanguageError
+from repro.logic.terms import (
+    Constant,
+    GroundAtom,
+    Predicate,
+    PredicateConstant,
+    as_constant,
+    is_atom,
+    sort_atoms,
+)
+
+
+class TestConstant:
+    def test_name_identity(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_int_coercion(self):
+        assert Constant(700) == Constant("700")
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_ordering(self):
+        assert Constant("a") < Constant("b")
+        assert sorted([Constant("b"), Constant("a")])[0] == Constant("a")
+
+    def test_str(self):
+        assert str(Constant("part32")) == "part32"
+
+    def test_negative_number_allowed(self):
+        assert str(Constant("-5")) == "-5"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Constant("a").name = "b"
+
+    def test_rejects_empty(self):
+        with pytest.raises(LanguageError):
+            Constant("")
+
+    def test_rejects_structural_characters(self):
+        for bad in ("a(b", "a)b", "a,b", 'a b"', "a b'"):
+            with pytest.raises(LanguageError):
+                Constant(bad)
+
+    def test_prime_suffix_is_plain_identifier(self):
+        # The paper's a' (modified tuple) is a legal constant.
+        assert str(Constant("a'")) == "a'"
+
+    def test_space_allowed_but_quoted(self):
+        c = Constant("alice smith")
+        assert c.needs_quoting
+        assert str(c) == "'alice smith'"
+
+    def test_not_equal_to_string(self):
+        assert Constant("a") != "a"
+
+
+class TestPredicate:
+    def test_identity_includes_arity(self):
+        assert Predicate("P", 1) == Predicate("P", 1)
+        assert Predicate("P", 1) != Predicate("P", 2)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(LanguageError):
+            Predicate("P", 0)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(LanguageError):
+            Predicate("P", -1)
+
+    def test_call_builds_atom(self):
+        orders = Predicate("Orders", 3)
+        atom = orders(700, 32, 9)
+        assert isinstance(atom, GroundAtom)
+        assert str(atom) == "Orders(700,32,9)"
+
+    def test_call_arity_mismatch(self):
+        with pytest.raises(LanguageError):
+            Predicate("P", 2)("a")
+
+    def test_ordering(self):
+        assert Predicate("A", 1) < Predicate("B", 1)
+        assert Predicate("A", 1) < Predicate("A", 2)
+
+    def test_bad_name(self):
+        with pytest.raises(LanguageError):
+            Predicate("9lives", 1)
+
+
+class TestGroundAtom:
+    def test_equality(self):
+        p = Predicate("P", 2)
+        assert p("a", "b") == p("a", "b")
+        assert p("a", "b") != p("b", "a")
+
+    def test_hash_consistency(self):
+        p = Predicate("P", 2)
+        assert hash(p("a", "b")) == hash(p("a", "b"))
+
+    def test_args_are_constants(self):
+        p = Predicate("P", 1)
+        assert p("a").args == (Constant("a"),)
+
+    def test_constants_view(self):
+        p = Predicate("P", 2)
+        assert p("a", "b").constants() == (Constant("a"), Constant("b"))
+
+    def test_not_predicate_constant(self):
+        assert not Predicate("P", 1)("a").is_predicate_constant
+
+    def test_ordering_within_predicate(self):
+        p = Predicate("P", 1)
+        assert p("a") < p("b")
+
+    def test_ordering_across_predicates(self):
+        assert Predicate("A", 1)("z") < Predicate("B", 1)("a")
+
+    def test_immutable(self):
+        atom = Predicate("P", 1)("a")
+        with pytest.raises(AttributeError):
+            atom.args = ()
+
+    def test_requires_predicate(self):
+        with pytest.raises(LanguageError):
+            GroundAtom("P", (Constant("a"),))  # type: ignore[arg-type]
+
+
+class TestPredicateConstant:
+    def test_equality(self):
+        assert PredicateConstant("p") == PredicateConstant("p")
+        assert PredicateConstant("p") != PredicateConstant("q")
+
+    def test_is_predicate_constant(self):
+        assert PredicateConstant("p").is_predicate_constant
+
+    def test_at_prefix_allowed(self):
+        assert str(PredicateConstant("@p0")) == "@p0"
+
+    def test_sorts_after_ground_atoms(self):
+        atom = Predicate("Z", 1)("z")
+        assert atom < PredicateConstant("a")
+        assert not (PredicateConstant("a") < atom)
+
+    def test_bad_name(self):
+        with pytest.raises(LanguageError):
+            PredicateConstant("@@x")
+
+
+class TestHelpers:
+    def test_as_constant_idempotent(self):
+        c = Constant("a")
+        assert as_constant(c) is c
+
+    def test_as_constant_coerces(self):
+        assert as_constant("a") == Constant("a")
+        assert as_constant(7) == Constant("7")
+
+    def test_is_atom(self):
+        assert is_atom(Predicate("P", 1)("a"))
+        assert is_atom(PredicateConstant("p"))
+        assert not is_atom("P(a)")
+        assert not is_atom(Constant("a"))
+
+    def test_sort_atoms_mixed(self):
+        p = Predicate("P", 1)
+        mixed = [PredicateConstant("zz"), p("b"), PredicateConstant("aa"), p("a")]
+        ordered = sort_atoms(mixed)
+        assert ordered == [p("a"), p("b"), PredicateConstant("aa"), PredicateConstant("zz")]
+
+    def test_sort_atoms_deterministic(self):
+        p = Predicate("P", 1)
+        atoms = [p("c"), p("a"), p("b")]
+        assert sort_atoms(atoms) == sort_atoms(reversed(atoms))

@@ -1,0 +1,159 @@
+"""Unit tests for structural transformations: NNF, folding, conditioning."""
+
+import pytest
+
+from repro.logic.entailment import equivalent
+from repro.logic.parser import parse
+from repro.logic.syntax import And, Atom, FALSE, Implies, Not, Or, TRUE
+from repro.logic.terms import Predicate
+from repro.logic.transform import (
+    condition,
+    eliminate_conditionals,
+    fold_constants,
+    is_literal,
+    literal_of,
+    polarities,
+    to_nnf,
+)
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+
+
+class TestEliminateConditionals:
+    def test_implies(self):
+        result = eliminate_conditionals(parse("P(a) -> P(b)"))
+        assert result == Or((Not(Atom(a)), Atom(b)))
+
+    def test_iff(self):
+        result = eliminate_conditionals(parse("P(a) <-> P(b)"))
+        assert isinstance(result, Or)
+        assert equivalent(result, parse("P(a) <-> P(b)"))
+
+    def test_nested(self):
+        f = parse("(P(a) -> P(b)) <-> P(c)")
+        result = eliminate_conditionals(f)
+        for node in result.walk():
+            assert not isinstance(node, Implies)
+        assert equivalent(result, f)
+
+
+class TestNNF:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "!(P(a) & P(b))",
+            "!(P(a) | P(b))",
+            "!(P(a) -> P(b))",
+            "!(P(a) <-> P(b))",
+            "!!P(a)",
+            "!T",
+            "!F",
+            "!(P(a) & (P(b) | !P(c)))",
+        ],
+    )
+    def test_preserves_equivalence(self, text):
+        original = parse(text)
+        assert equivalent(to_nnf(original), original)
+
+    def test_negations_on_atoms_only(self):
+        result = to_nnf(parse("!(P(a) & (P(b) -> P(c)))"))
+        for node in result.walk():
+            if isinstance(node, Not):
+                assert isinstance(node.operand, Atom)
+
+    def test_de_morgan(self):
+        result = to_nnf(parse("!(P(a) & P(b))"))
+        assert result == Or((Not(Atom(a)), Not(Atom(b))))
+
+
+class TestFoldConstants:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("P(a) & T", "P(a)"),
+            ("P(a) & F", "F"),
+            ("P(a) | T", "T"),
+            ("P(a) | F", "P(a)"),
+            ("!T", "F"),
+            ("!F", "T"),
+            ("!!P(a)", "P(a)"),
+            ("T -> P(a)", "P(a)"),
+            ("F -> P(a)", "T"),
+            ("P(a) -> T", "T"),
+            ("P(a) -> F", "!P(a)"),
+            ("P(a) <-> T", "P(a)"),
+            ("P(a) <-> F", "!P(a)"),
+            ("T <-> P(a)", "P(a)"),
+            ("T & T & T", "T"),
+            ("F | F", "F"),
+        ],
+    )
+    def test_folds(self, text, expected):
+        assert fold_constants(parse(text)) == parse(expected)
+
+    def test_no_constants_untouched(self):
+        f = parse("P(a) & P(b)")
+        assert fold_constants(f) == f
+
+    def test_deep_fold(self):
+        f = parse("(P(a) & T) | (F & P(b))")
+        assert fold_constants(f) == parse("P(a)")
+
+
+class TestCondition:
+    def test_positive_cofactor(self):
+        f = parse("P(a) & P(b)")
+        assert condition(f, {a: True}) == parse("P(b)")
+
+    def test_negative_cofactor(self):
+        f = parse("P(a) & P(b)")
+        assert condition(f, {a: False}) == FALSE
+
+    def test_or_cofactor(self):
+        f = parse("P(a) | P(b)")
+        assert condition(f, {a: True}) == TRUE
+
+    def test_multi_atom(self):
+        f = parse("(P(a) | P(b)) & P(c)")
+        assert condition(f, {a: False, b: False}) == FALSE
+
+    def test_shannon_expansion_equivalence(self):
+        f = parse("(P(a) -> P(b)) <-> (P(c) | P(a))")
+        expansion = Or((
+            And((Atom(a), condition(f, {a: True}))),
+            And((Not(Atom(a)), condition(f, {a: False}))),
+        ))
+        assert equivalent(expansion, f)
+
+
+class TestPolarities:
+    def test_pure_positive(self):
+        result = polarities(parse("P(a) & (P(a) | P(b))"))
+        assert result[a] == {True}
+
+    def test_mixed(self):
+        result = polarities(parse("P(a) & !P(a)"))
+        assert result[a] == {True, False}
+
+    def test_negation_through_implies(self):
+        # antecedent atoms appear negatively
+        result = polarities(parse("P(a) -> P(b)"))
+        assert result[a] == {False}
+        assert result[b] == {True}
+
+
+class TestLiterals:
+    def test_is_literal(self):
+        assert is_literal(parse("P(a)"))
+        assert is_literal(parse("!P(a)"))
+        assert not is_literal(parse("!!P(a)"))
+        assert not is_literal(parse("P(a) & P(b)"))
+
+    def test_literal_of(self):
+        assert literal_of(parse("P(a)")) == (a, True)
+        assert literal_of(parse("!P(a)")) == (a, False)
+
+    def test_literal_of_rejects_compound(self):
+        with pytest.raises(TypeError):
+            literal_of(parse("P(a) | P(b)"))

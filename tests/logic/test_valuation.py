@@ -1,0 +1,120 @@
+"""Unit tests for valuations."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.logic.terms import Predicate, PredicateConstant
+from repro.logic.valuation import EMPTY_VALUATION, Valuation
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+
+
+class TestConstruction:
+    def test_of(self):
+        v = Valuation.of(true=[a], false=[b])
+        assert v[a] is True and v[b] is False
+
+    def test_of_conflict(self):
+        with pytest.raises(ReproError):
+            Valuation.of(true=[a], false=[a])
+
+    def test_rejects_non_bool(self):
+        with pytest.raises(ReproError):
+            Valuation({a: 1})  # type: ignore[dict-item]
+
+    def test_empty(self):
+        assert len(EMPTY_VALUATION) == 0
+
+    def test_mapping_protocol(self):
+        v = Valuation({a: True})
+        assert a in v and b not in v
+        assert list(v) == [a]
+        assert dict(v) == {a: True}
+
+
+class TestAllOver:
+    def test_counts(self):
+        assert len(list(Valuation.all_over([a, b]))) == 4
+
+    def test_empty_atom_set(self):
+        vals = list(Valuation.all_over([]))
+        assert vals == [EMPTY_VALUATION]
+
+    def test_each_total(self):
+        for v in Valuation.all_over([a, b, c]):
+            assert set(v) == {a, b, c}
+
+    def test_deterministic_order(self):
+        assert list(Valuation.all_over([b, a])) == list(Valuation.all_over([a, b]))
+
+    def test_distinct(self):
+        vals = list(Valuation.all_over([a, b]))
+        assert len(set(vals)) == 4
+
+
+class TestDerivation:
+    def test_extended(self):
+        v = Valuation({a: True}).extended({b: False})
+        assert v[a] and not v[b]
+
+    def test_extended_conflict(self):
+        with pytest.raises(ReproError):
+            Valuation({a: True}).extended({a: False})
+
+    def test_extended_agreeing_ok(self):
+        v = Valuation({a: True}).extended({a: True})
+        assert v[a]
+
+    def test_overridden(self):
+        v = Valuation({a: True}).overridden({a: False})
+        assert not v[a]
+
+    def test_restricted(self):
+        v = Valuation({a: True, b: False}).restricted([a])
+        assert set(v) == {a}
+
+    def test_without(self):
+        v = Valuation({a: True, b: False}).without([a])
+        assert set(v) == {b}
+
+    def test_immutability(self):
+        v = Valuation({a: True})
+        v.extended({b: True})
+        assert b not in v
+
+
+class TestViews:
+    def test_true_false_atoms(self):
+        v = Valuation({a: True, b: False, c: True})
+        assert v.true_atoms() == {a, c}
+        assert v.false_atoms() == {b}
+
+    def test_agrees_with_closed_world(self):
+        v1 = Valuation({a: True})
+        v2 = Valuation({a: True, b: False})
+        assert v1.agrees_with(v2, [a, b])  # missing b reads as False
+
+    def test_agrees_with_detects_difference(self):
+        v1 = Valuation({a: True})
+        v2 = Valuation({a: False})
+        assert not v1.agrees_with(v2, [a])
+
+    def test_items_sorted(self):
+        v = Valuation({b: True, a: False})
+        assert [atom for atom, _ in v.items_sorted()] == [a, b]
+
+    def test_predicate_constants_participate(self):
+        pc = PredicateConstant("@p")
+        v = Valuation({pc: True})
+        assert v.true_atoms() == {pc}
+
+
+class TestIdentity:
+    def test_equality(self):
+        assert Valuation({a: True}) == Valuation({a: True})
+        assert Valuation({a: True}) != Valuation({a: False})
+
+    def test_hash(self):
+        assert hash(Valuation({a: True})) == hash(Valuation({a: True}))
+        assert len({Valuation({a: True}), Valuation({a: True})}) == 1

@@ -1,0 +1,120 @@
+"""Unit tests for certain/possible query answering."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.answers import Answer, ask, is_certain, is_possible
+from repro.theory.theory import ExtendedRelationalTheory
+
+
+@pytest.fixture
+def theory():
+    t = ExtendedRelationalTheory()
+    t.add_formula("P(a)")
+    t.add_formula("P(b) | P(c)")
+    t.add_formula("!P(d)")
+    return t
+
+
+class TestPossible:
+    def test_certain_fact_possible(self, theory):
+        assert is_possible(theory, "P(a)")
+
+    def test_disjunct_possible(self, theory):
+        assert is_possible(theory, "P(b)")
+        assert is_possible(theory, "P(c)")
+
+    def test_negated_fact_impossible(self, theory):
+        assert not is_possible(theory, "P(d)")
+
+    def test_unknown_atom_impossible(self, theory):
+        # Atoms outside the universe are false in every world (CWA).
+        assert not is_possible(theory, "P(zzz)")
+        assert is_possible(theory, "!P(zzz)")
+
+    def test_compound(self, theory):
+        assert is_possible(theory, "P(b) & !P(c)")
+        assert not is_possible(theory, "!P(b) & !P(c)")
+
+    def test_truth_values(self, theory):
+        assert is_possible(theory, "T")
+        assert not is_possible(theory, "F")
+
+    def test_inconsistent_theory_nothing_possible(self):
+        t = ExtendedRelationalTheory(formulas=["P(a)", "!P(a)"])
+        assert not is_possible(t, "T")
+
+
+class TestCertain:
+    def test_fact_certain(self, theory):
+        assert is_certain(theory, "P(a)")
+
+    def test_disjunction_certain_members_not(self, theory):
+        assert is_certain(theory, "P(b) | P(c)")
+        assert not is_certain(theory, "P(b)")
+
+    def test_negative_knowledge_certain(self, theory):
+        assert is_certain(theory, "!P(d)")
+        assert is_certain(theory, "!P(zzz)")
+
+    def test_tautology_certain(self, theory):
+        assert is_certain(theory, "P(q) | !P(q)")
+
+    def test_inconsistent_theory_everything_certain(self):
+        t = ExtendedRelationalTheory(formulas=["P(a)", "!P(a)"])
+        assert is_certain(t, "F")
+
+
+class TestAsk:
+    def test_statuses(self, theory):
+        assert ask(theory, "P(a)").status == "certain"
+        assert ask(theory, "P(b)").status == "possible"
+        assert ask(theory, "P(d)").status == "impossible"
+
+    def test_answer_fields(self, theory):
+        answer = ask(theory, "P(b)")
+        assert answer.possible and not answer.certain
+        assert str(answer) == "possible"
+
+    def test_certain_implies_possible_when_consistent(self, theory):
+        answer = ask(theory, "P(a)")
+        assert answer.certain and answer.possible
+
+    def test_inconsistent_theory_certain_not_possible(self):
+        t = ExtendedRelationalTheory(formulas=["P(a)", "!P(a)"])
+        answer = ask(t, "P(a)")
+        assert answer.certain and not answer.possible
+
+
+class TestValidation:
+    def test_predicate_constants_rejected(self, theory):
+        with pytest.raises(QueryError):
+            ask(theory, "@p0")
+
+    def test_queries_about_internal_state_rejected(self, theory):
+        theory.add_formula("@hidden | P(a)")
+        with pytest.raises(QueryError):
+            ask(theory, "@hidden")
+
+    def test_non_formula_rejected(self, theory):
+        with pytest.raises(QueryError):
+            ask(theory, 42)  # type: ignore[arg-type]
+
+
+class TestAgainstWorldEnumeration:
+    """SAT-based answers must agree with brute-force world checking."""
+
+    @pytest.mark.parametrize(
+        "query",
+        ["P(a)", "P(b)", "P(b) & P(c)", "P(b) | P(c)", "!P(b) | P(a)",
+         "P(b) -> P(c)", "P(a) <-> P(b)"],
+    )
+    def test_agreement(self, theory, query):
+        from repro.logic.parser import parse
+
+        worlds = list(theory.alternative_worlds())
+        formula = parse(query)
+        brute_certain = all(w.satisfies(formula) for w in worlds)
+        brute_possible = any(w.satisfies(formula) for w in worlds)
+        assert is_certain(theory, query) is brute_certain
+        assert is_possible(theory, query) is brute_possible

@@ -1,0 +1,151 @@
+"""Unit tests for open queries (certain/possible answer sets)."""
+
+import pytest
+
+from repro.core.engine import Database
+from repro.errors import QueryError
+from repro.logic.terms import Constant
+from repro.query.open_queries import OpenQuery, parse_open_query
+from repro.theory.theory import ExtendedRelationalTheory
+
+
+@pytest.fixture
+def theory():
+    t = ExtendedRelationalTheory()
+    t.add_formula("Emp(alice,sales)")
+    t.add_formula("Emp(bob,sales) | Emp(bob,hr)")
+    t.add_formula("Emp(carol,hr)")
+    t.add_formula("!Emp(dave,sales)")
+    return t
+
+
+class TestParsing:
+    def test_variables(self):
+        query = parse_open_query("Emp(?x, sales)")
+        assert query.variables() == ("x",)
+
+    def test_multiple_variables(self):
+        query = parse_open_query("Emp(?x, ?d) & !Emp(?x, hr)")
+        assert query.variables() == ("d", "x")
+
+    def test_ground_query_allowed(self):
+        query = parse_open_query("Emp(alice, sales)")
+        assert query.variables() == ()
+
+    def test_predicate_constants_rejected(self):
+        with pytest.raises(QueryError):
+            parse_open_query("@p0 | Emp(?x, sales)")
+
+
+class TestCandidates:
+    def test_position_filtered(self, theory):
+        query = parse_open_query("Emp(?x, sales)")
+        candidates = query.candidate_values(theory)
+        names = {c.name for c in candidates["x"]}
+        # dave appears (negatively) at a sales position; carol does not.
+        assert names == {"alice", "bob", "dave"}
+
+    def test_unconstrained_position(self, theory):
+        query = parse_open_query("Emp(?x, ?d)")
+        candidates = query.candidate_values(theory)
+        assert {c.name for c in candidates["d"]} == {"sales", "hr"}
+
+
+class TestAnswers:
+    def test_certain_and_possible(self, theory):
+        query = parse_open_query("Emp(?x, sales)")
+        statuses = {row.values(): row.status for row in query.answers(theory)}
+        assert statuses[("alice",)] == "certain"
+        assert statuses[("bob",)] == "possible"
+        assert ("dave",) not in statuses  # impossible hidden by default
+
+    def test_include_impossible(self, theory):
+        query = parse_open_query("Emp(?x, sales)")
+        statuses = {
+            row.values(): row.status
+            for row in query.answers(theory, include_impossible=True)
+        }
+        assert statuses[("dave",)] == "impossible"
+
+    def test_certain_answers_helper(self, theory):
+        query = parse_open_query("Emp(?x, sales)")
+        assert query.certain_answers(theory) == [("alice",)]
+
+    def test_possible_answers_helper(self, theory):
+        query = parse_open_query("Emp(?x, sales)")
+        assert query.possible_answers(theory) == [("alice",), ("bob",)]
+
+    def test_compound_query(self, theory):
+        # Who is certainly somewhere but uncertainly in sales?
+        query = parse_open_query("Emp(?x, sales) | Emp(?x, hr)")
+        statuses = {row.values(): row.status for row in query.answers(theory)}
+        assert statuses[("bob",)] == "certain"   # the disjunction is certain
+        assert statuses[("alice",)] == "certain"
+
+    def test_negative_query_range_restricted(self, theory):
+        # Candidates come from the hr-position matches only ({bob, carol});
+        # alice never appears at an hr position, so she is out of range —
+        # the documented safe-range behavior.
+        query = parse_open_query("!Emp(?x, hr)")
+        candidates = {c.name for c in query.candidate_values(theory)["x"]}
+        assert candidates == {"bob", "carol"}
+        statuses = {
+            row.values(): row.status
+            for row in query.answers(theory, include_impossible=True)
+        }
+        assert statuses[("bob",)] == "possible"
+        assert statuses[("carol",)] == "impossible"
+
+    def test_ground_query_single_row(self, theory):
+        query = parse_open_query("Emp(alice, sales)")
+        rows = query.answers(theory)
+        assert len(rows) == 1 and rows[0].status == "certain"
+
+    def test_answers_agree_with_world_enumeration(self, theory):
+        query = parse_open_query("Emp(?x, sales)")
+        worlds = list(theory.alternative_worlds())
+        for row in query.answers(theory, include_impossible=True):
+            ground = query.ground(row.as_dict())
+            holds_in = sum(1 for w in worlds if w.satisfies(ground))
+            if row.status == "certain":
+                assert holds_in == len(worlds)
+            elif row.status == "possible":
+                assert 0 < holds_in < len(worlds)
+            else:
+                assert holds_in == 0
+
+    def test_explicit_domains(self, theory):
+        query = parse_open_query("Emp(?x, sales)")
+        rows = query.answers(
+            theory,
+            domains={"x": [Constant("alice")]},
+        )
+        assert [row.values() for row in rows] == [("alice",)]
+
+    def test_binding_must_cover(self, theory):
+        query = parse_open_query("Emp(?x, ?d)")
+        with pytest.raises(QueryError):
+            query.ground({"x": Constant("alice")})
+
+
+class TestEngineIntegration:
+    def test_find(self):
+        db = Database()
+        db.update("INSERT Emp(alice,sales) WHERE T")
+        db.update("INSERT Emp(bob,sales) | Emp(bob,hr) WHERE T")
+        rows = db.find("Emp(?who, sales)")
+        statuses = {row.values(): row.status for row in rows}
+        assert statuses[("alice",)] == "certain"
+        assert statuses[("bob",)] == "possible"
+
+    def test_cli_find(self):
+        import io
+
+        from repro.cli import handle_command
+
+        db = Database()
+        handle_command(db, "INSERT Emp(alice,sales) WHERE T", out=io.StringIO())
+        out = io.StringIO()
+        handle_command(db, ".find Emp(?x, sales)", out=out)
+        assert "?x=alice" in out.getvalue()
+        assert "certain" in out.getvalue()

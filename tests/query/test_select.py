@@ -1,0 +1,70 @@
+"""Unit tests for select-style membership queries."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.logic.terms import Predicate
+from repro.query.select import certain_tuples, possible_tuples, select
+from repro.theory.schema import schema_from_dict
+from repro.theory.theory import ExtendedRelationalTheory
+
+Orders = Predicate("Orders", 3)
+
+
+@pytest.fixture
+def theory():
+    t = ExtendedRelationalTheory()
+    t.add_formula("Orders(700,32,9)")
+    t.add_formula("Orders(800,33,1) | Orders(801,33,1)")
+    t.add_formula("!Orders(900,34,2)")
+    return t
+
+
+class TestSelect:
+    def test_statuses(self, theory):
+        rows = {row.values(): row.status for row in select(theory, Orders)}
+        assert rows[("700", "32", "9")] == "certain"
+        assert rows[("800", "33", "1")] == "possible"
+        assert rows[("801", "33", "1")] == "possible"
+        assert ("900", "34", "2") not in rows  # impossible hidden by default
+
+    def test_include_impossible(self, theory):
+        rows = {
+            row.values(): row.status
+            for row in select(theory, Orders, include_impossible=True)
+        }
+        assert rows[("900", "34", "2")] == "impossible"
+
+    def test_row_order_deterministic(self, theory):
+        first = [r.values() for r in select(theory, Orders)]
+        second = [r.values() for r in select(theory, Orders)]
+        assert first == second
+
+    def test_relation_by_name(self, theory):
+        rows = select(theory, "Orders")
+        assert len(rows) == 3
+
+    def test_relation_by_schema_name(self):
+        schema = schema_from_dict({"R": ["A"]})
+        t = ExtendedRelationalTheory(schema=schema)
+        t.add_formula("R(x) & A(x)")
+        rows = select(t, "R")
+        assert [r.status for r in rows] == ["certain"]
+
+    def test_unknown_relation(self, theory):
+        with pytest.raises(QueryError):
+            select(theory, "Nope")
+
+    def test_empty_relation(self):
+        t = ExtendedRelationalTheory(formulas=["P(a)"])
+        assert select(t, Orders) == []
+
+
+class TestHelpers:
+    def test_certain_tuples(self, theory):
+        rows = certain_tuples(theory, Orders)
+        assert [tuple(str(c) for c in row) for row in rows] == [("700", "32", "9")]
+
+    def test_possible_tuples_include_certain(self, theory):
+        rows = possible_tuples(theory, Orders)
+        assert len(rows) == 3

@@ -1,0 +1,86 @@
+"""Unit tests for witness worlds and Database.explain."""
+
+import pytest
+
+from repro.core.engine import Database
+from repro.logic.parser import parse
+from repro.query.answers import witness_world
+from repro.theory.theory import ExtendedRelationalTheory
+
+
+@pytest.fixture
+def theory():
+    t = ExtendedRelationalTheory()
+    t.add_formula("P(a)")
+    t.add_formula("P(b) | P(c)")
+    return t
+
+
+class TestWitnessWorld:
+    def test_possible_query_has_both_witnesses(self, theory):
+        yes = witness_world(theory, "P(b)")
+        no = witness_world(theory, "P(b)", holds=False)
+        assert yes is not None and yes.satisfies(parse("P(b)"))
+        assert no is not None and not no.satisfies(parse("P(b)"))
+
+    def test_certain_query_has_no_negative_witness(self, theory):
+        assert witness_world(theory, "P(a)") is not None
+        assert witness_world(theory, "P(a)", holds=False) is None
+
+    def test_impossible_query_has_no_positive_witness(self, theory):
+        assert witness_world(theory, "P(zz)") is None
+        assert witness_world(theory, "P(zz)", holds=False) is not None
+
+    def test_witness_is_an_actual_world(self, theory):
+        witness = witness_world(theory, "P(b)")
+        assert witness in theory.world_set()
+
+    def test_compound_query(self, theory):
+        witness = witness_world(theory, "P(b) & !P(c)")
+        assert witness is not None
+        assert witness.satisfies(parse("P(b) & !P(c)"))
+
+    def test_tautology(self, theory):
+        assert witness_world(theory, "T") is not None
+        assert witness_world(theory, "T", holds=False) is None
+
+    def test_contradiction(self, theory):
+        assert witness_world(theory, "F") is None
+
+    def test_inconsistent_theory(self):
+        t = ExtendedRelationalTheory(formulas=["P(a)", "!P(a)"])
+        assert witness_world(t, "T") is None
+
+
+class TestExplain:
+    def test_possible(self):
+        db = Database()
+        db.update("INSERT P(a) | P(b) WHERE T")
+        yes, no = db.explain("P(a)")
+        assert yes is not None and no is not None
+
+    def test_certain(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        yes, no = db.explain("P(a)")
+        assert yes is not None and no is None
+
+    def test_impossible(self):
+        db = Database()
+        db.update("INSERT !P(a) WHERE T")
+        yes, no = db.explain("P(a)")
+        assert yes is None and no is not None
+
+    def test_status_consistent_with_ask(self):
+        db = Database()
+        db.update("INSERT P(a) | P(b) WHERE T")
+        db.update("INSERT P(c) WHERE P(a)")
+        for query in ["P(a)", "P(c)", "P(a) -> P(c)", "P(zz)"]:
+            yes, no = db.explain(query)
+            status = db.ask(query).status
+            if status == "certain":
+                assert yes is not None and no is None
+            elif status == "possible":
+                assert yes is not None and no is not None
+            else:
+                assert yes is None

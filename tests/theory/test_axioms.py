@@ -1,0 +1,81 @@
+"""Unit tests for derived completion and type axioms."""
+
+import pytest
+
+from repro.logic.parser import parse_atom
+from repro.logic.terms import Predicate
+from repro.theory.axioms import (
+    CompletionAxiom,
+    TypeAxiom,
+    derive_completion_axioms,
+    derive_type_axioms,
+)
+from repro.theory.schema import schema_from_dict
+
+P = Predicate("P", 2)
+
+
+class TestCompletionAxiom:
+    def test_permits_only_disjuncts(self):
+        axiom = CompletionAxiom(P, [P("a", "b")])
+        assert axiom.permits(P("a", "b"))
+        assert not axiom.permits(P("x", "y"))
+
+    def test_disjunct_predicate_checked(self):
+        with pytest.raises(ValueError):
+            CompletionAxiom(P, [parse_atom("Q(a)")])
+
+    def test_holds_in_world(self):
+        axiom = CompletionAxiom(P, [P("a", "b")])
+        assert axiom.holds_in_world(frozenset({P("a", "b")}))
+        assert axiom.holds_in_world(frozenset())
+        assert not axiom.holds_in_world(frozenset({P("x", "y")}))
+
+    def test_other_predicates_ignored(self):
+        axiom = CompletionAxiom(P, [])
+        q_atom = parse_atom("Q(a)")
+        assert axiom.holds_in_world(frozenset({q_atom}))
+
+    def test_render_universal_negation(self):
+        axiom = CompletionAxiom(P, [])
+        assert axiom.render() == "forall x1 forall x2 !P(x1,x2)"
+
+    def test_render_disjuncts(self):
+        axiom = CompletionAxiom(P, [P("a", "b"), P("c", "d")])
+        text = axiom.render()
+        assert "(x1 = a & x2 = b)" in text
+        assert "(x1 = c & x2 = d)" in text
+        assert text.startswith("forall x1 forall x2 (P(x1,x2) ->")
+
+    def test_derivation_matches_store_order(self):
+        atoms = {P: (P("a", "b"), P("c", "d"))}
+        axioms = derive_completion_axioms([P], lambda p: atoms[p])
+        assert axioms[0].disjuncts == atoms[P]
+
+
+class TestTypeAxiom:
+    @pytest.fixture
+    def schema(self):
+        return schema_from_dict({"R": ["A", "B"]})
+
+    def test_holds(self, schema):
+        axiom = TypeAxiom(schema.relation("R"))
+        world = {
+            parse_atom("R(x,y)"),
+            parse_atom("A(x)"),
+            parse_atom("B(y)"),
+        }
+        assert axiom.holds_in_world(frozenset(world))
+
+    def test_violated(self, schema):
+        axiom = TypeAxiom(schema.relation("R"))
+        assert not axiom.holds_in_world(frozenset({parse_atom("R(x,y)")}))
+
+    def test_render(self, schema):
+        axiom = TypeAxiom(schema.relation("R"))
+        assert axiom.render() == "forall x1 forall x2 (R(x1,x2) -> A(x1) & B(x2))"
+
+    def test_derive_per_relation(self, schema):
+        axioms = derive_type_axioms(schema)
+        assert len(axioms) == 1
+        assert axioms[0].relation.name == "R"

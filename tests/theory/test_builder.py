@@ -1,0 +1,116 @@
+"""Unit tests for TheoryBuilder and theory_from_worlds."""
+
+import pytest
+
+from repro.errors import TheoryError
+from repro.logic.parser import parse, parse_atom
+from repro.logic.terms import Predicate
+from repro.theory.builder import TheoryBuilder, theory_from_worlds
+from repro.theory.dependencies import FunctionalDependency
+from repro.theory.schema import schema_from_dict
+from repro.theory.worlds import AlternativeWorld
+
+P = Predicate("P", 1)
+
+
+class TestBuilder:
+    def test_fact(self):
+        theory = TheoryBuilder().fact("P(a)", "P(b)").build()
+        assert theory.world_set() == {AlternativeWorld([P("a"), P("b")])}
+
+    def test_negative_fact(self):
+        theory = TheoryBuilder().negative_fact("P(a)").build()
+        assert theory.world_set() == {AlternativeWorld()}
+        assert P("a") in theory.atom_universe()
+
+    def test_disjunction(self):
+        theory = TheoryBuilder().disjunction("P(a)", "P(b)").build()
+        assert theory.world_count() == 3
+
+    def test_disjunction_needs_two(self):
+        with pytest.raises(TheoryError):
+            TheoryBuilder().disjunction("P(a)")
+
+    def test_exclusive_choice(self):
+        theory = TheoryBuilder().exclusive_choice("P(a)", "P(b)").build()
+        assert theory.world_set() == {
+            AlternativeWorld([P("a")]),
+            AlternativeWorld([P("b")]),
+        }
+
+    def test_exclusive_choice_three_way(self):
+        theory = TheoryBuilder().exclusive_choice("P(a)", "P(b)", "P(c)").build()
+        assert theory.world_count() == 3
+
+    def test_unknown(self):
+        theory = TheoryBuilder().unknown("P(a)").build()
+        assert theory.world_count() == 2
+        assert P("a") in theory.atom_universe()
+
+    def test_chaining(self):
+        theory = (
+            TheoryBuilder()
+            .fact("P(a)")
+            .unknown("P(b)")
+            .disjunction("P(c)", "P(d)")
+            .build()
+        )
+        assert theory.world_count() == 2 * 3
+
+    def test_dependency_attached(self):
+        fd = FunctionalDependency(Predicate("E", 2), [0], [1])
+        theory = TheoryBuilder().fact("E(k,v)").dependency(fd).build()
+        assert theory.dependencies == (fd,)
+
+    def test_invariant_check_passes(self):
+        schema = schema_from_dict({"R": ["A"]})
+        builder = TheoryBuilder(schema)
+        builder.add("R(x) & A(x)")
+        builder.build(check_invariant=True)
+
+    def test_invariant_check_fails(self):
+        schema = schema_from_dict({"R": ["A"]})
+        builder = TheoryBuilder(schema)
+        builder.add("R(x)")
+        with pytest.raises(TheoryError):
+            builder.build(check_invariant=True)
+
+    def test_accepts_ground_atom_objects(self):
+        theory = TheoryBuilder().fact(P("a")).build()
+        assert theory.world_set() == {AlternativeWorld([P("a")])}
+
+
+class TestTheoryFromWorlds:
+    def test_exact_worlds(self):
+        theory = theory_from_worlds([["P(a)", "P(b)"], ["P(a)"]])
+        assert theory.world_set() == {
+            AlternativeWorld([P("a"), P("b")]),
+            AlternativeWorld([P("a")]),
+        }
+
+    def test_single_world(self):
+        theory = theory_from_worlds([["P(a)"]])
+        assert theory.world_set() == {AlternativeWorld([P("a")])}
+
+    def test_empty_world_representable(self):
+        theory = theory_from_worlds([[], ["P(a)"]])
+        assert AlternativeWorld() in theory.world_set()
+
+    def test_no_worlds_rejected(self):
+        with pytest.raises(TheoryError):
+            theory_from_worlds([])
+
+    def test_rejects_compound_formulas(self):
+        with pytest.raises(TheoryError):
+            theory_from_worlds([["P(a) | P(b)"]])
+
+    def test_representation_power_claim(self):
+        # Section 2: any finite set of same-schema databases is representable.
+        worlds = [
+            ["P(a)", "P(b)", "P(c)"],
+            ["P(b)"],
+            ["P(a)", "P(c)"],
+            [],
+        ]
+        theory = theory_from_worlds(worlds)
+        assert len(theory.world_set()) == 4

@@ -1,0 +1,247 @@
+"""Unit tests for template dependencies and the classic special cases."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.logic.printer import to_text
+from repro.logic.terms import Constant, Predicate
+from repro.theory.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    MultivaluedDependency,
+    TAnd,
+    TAtom,
+    TEq,
+    TNot,
+    TOr,
+    TemplateAtom,
+    TemplateDependency,
+    Var,
+)
+
+Emp = Predicate("Emp", 2)
+P1 = Predicate("P", 1)
+Q1 = Predicate("Q", 1)
+R3 = Predicate("R3", 3)
+
+
+class TestTemplateAtom:
+    def test_match_binds_variables(self):
+        template = TemplateAtom(Emp, [Var("x"), Var("y")])
+        binding = template.match(Emp("k", "v"), {})
+        assert binding == {Var("x"): Constant("k"), Var("y"): Constant("v")}
+
+    def test_match_respects_existing_binding(self):
+        template = TemplateAtom(Emp, [Var("x"), Var("y")])
+        assert template.match(Emp("k", "v"), {Var("x"): Constant("other")}) is None
+
+    def test_match_constant_positions(self):
+        template = TemplateAtom(Emp, [Constant("k"), Var("y")])
+        assert template.match(Emp("k", "v"), {}) is not None
+        assert template.match(Emp("j", "v"), {}) is None
+
+    def test_match_repeated_variable(self):
+        template = TemplateAtom(Emp, [Var("x"), Var("x")])
+        assert template.match(Emp("k", "k"), {}) is not None
+        assert template.match(Emp("k", "v"), {}) is None
+
+    def test_match_wrong_predicate(self):
+        template = TemplateAtom(Emp, [Var("x"), Var("y")])
+        assert template.match(P1("a"), {}) is None
+
+    def test_ground(self):
+        template = TemplateAtom(Emp, [Var("x"), Constant("v")])
+        atom = template.ground({Var("x"): Constant("k")})
+        assert atom == Emp("k", "v")
+
+    def test_ground_unbound_raises(self):
+        template = TemplateAtom(Emp, [Var("x"), Var("y")])
+        with pytest.raises(SchemaError):
+            template.ground({Var("x"): Constant("k")})
+
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            TemplateAtom(Emp, [Var("x")])
+
+
+class TestHeadAst:
+    def test_teq_folds_under_unique_names(self):
+        eq = TEq(Var("x"), Var("y"))
+        t = eq.instantiate({Var("x"): Constant("a"), Var("y"): Constant("a")})
+        f = eq.instantiate({Var("x"): Constant("a"), Var("y"): Constant("b")})
+        assert str(t) == "T" and str(f) == "F"
+
+    def test_tnot(self):
+        head = TNot(TEq(Var("x"), Constant("a")))
+        assert str(head.instantiate({Var("x"): Constant("a")})) == "F"
+        assert str(head.instantiate({Var("x"): Constant("b")})) == "T"
+
+    def test_tand_tor_fold(self):
+        head = TAnd([TEq(Var("x"), Var("x")), TAtom(TemplateAtom(P1, [Var("x")]))])
+        result = head.instantiate({Var("x"): Constant("a")})
+        assert to_text(result) == "P(a)"
+        head2 = TOr([TEq(Var("x"), Var("x")), TAtom(TemplateAtom(P1, [Var("x")]))])
+        assert str(head2.instantiate({Var("x"): Constant("a")})) == "T"
+
+    def test_variables_collected(self):
+        head = TAnd([TEq(Var("x"), Var("y")), TNot(TAtom(TemplateAtom(P1, [Var("z")])))])
+        assert head.variables() == {Var("x"), Var("y"), Var("z")}
+
+
+class TestTemplateDependency:
+    def test_head_vars_must_be_bound(self):
+        with pytest.raises(SchemaError):
+            TemplateDependency(
+                body=[TemplateAtom(P1, [Var("x")])],
+                head=TAtom(TemplateAtom(Q1, [Var("free")])),
+            )
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(SchemaError):
+            TemplateDependency(body=[], head=TEq(Constant("a"), Constant("a")))
+
+    def test_bindings_join(self):
+        dep = TemplateDependency(
+            body=[
+                TemplateAtom(P1, [Var("x")]),
+                TemplateAtom(Q1, [Var("x")]),
+            ],
+            head=TEq(Var("x"), Var("x")),
+        )
+        atoms = {P1("a"), P1("b"), Q1("a")}
+        bindings = list(dep.bindings(atoms))
+        assert bindings == [{Var("x"): Constant("a")}]
+
+    def test_instantiations_skip_true_heads(self):
+        dep = FunctionalDependency(Emp, [0], [1])
+        # Single tuple: the only binding pairs it with itself, head is T.
+        instances = list(dep.instantiations({Emp("k", "v")}))
+        assert instances == []
+
+    def test_instantiations_touching_filter(self):
+        ind = InclusionDependency(P1, [0], Q1, [0])
+        universe = {P1("a"), P1("b"), Q1("a")}
+        all_instances = {to_text(i) for i in ind.instantiations(universe)}
+        touched = {
+            to_text(i)
+            for i in ind.instantiations(universe, touching={P1("b")})
+        }
+        assert all_instances == {"P(a) -> Q(a)", "P(b) -> Q(b)"}
+        assert touched == {"P(b) -> Q(b)"}
+
+
+class TestFunctionalDependency:
+    def test_column_validation(self):
+        with pytest.raises(SchemaError):
+            FunctionalDependency(Emp, [5], [1])
+        with pytest.raises(SchemaError):
+            FunctionalDependency(Emp, [], [1])
+
+    def test_holds(self):
+        fd = FunctionalDependency(Emp, [0], [1])
+        assert fd.holds_in_world(frozenset({Emp("k1", "v1"), Emp("k2", "v1")}))
+        assert not fd.holds_in_world(frozenset({Emp("k1", "v1"), Emp("k1", "v2")}))
+
+    def test_fast_path_agrees_with_template(self):
+        fd = FunctionalDependency(Emp, [0], [1])
+        worlds = [
+            frozenset({Emp("a", "x"), Emp("b", "x")}),
+            frozenset({Emp("a", "x"), Emp("a", "y")}),
+            frozenset(),
+            frozenset({Emp("a", "x")}),
+        ]
+        for world in worlds:
+            assert fd.holds_in_world(world) == TemplateDependency.holds_in_world(
+                fd, world
+            )
+
+    def test_conflicts_with(self):
+        fd = FunctionalDependency(Emp, [0], [1])
+        existing = [Emp("k", "v1"), Emp("j", "v2")]
+        clashes = fd.conflicts_with(Emp("k", "v9"), existing)
+        assert clashes == [Emp("k", "v1")]
+
+    def test_conflicts_with_other_predicate(self):
+        fd = FunctionalDependency(Emp, [0], [1])
+        assert fd.conflicts_with(P1("a"), [Emp("k", "v")]) == []
+
+    def test_instantiation_produces_exclusion(self):
+        fd = FunctionalDependency(Emp, [0], [1])
+        universe = {Emp("k", "v1"), Emp("k", "v2")}
+        instances = [to_text(i) for i in fd.instantiations(universe)]
+        # Conflicting pairs instantiate to body -> F (mutual exclusion).
+        assert any("-> F" in text for text in instances)
+
+
+class TestInclusionDependency:
+    def test_holds(self):
+        ind = InclusionDependency(P1, [0], Q1, [0])
+        assert ind.holds_in_world(frozenset({P1("a"), Q1("a")}))
+        assert not ind.holds_in_world(frozenset({P1("a")}))
+        assert ind.holds_in_world(frozenset({Q1("a")}))
+
+    def test_fast_path_agrees_with_template(self):
+        ind = InclusionDependency(P1, [0], Q1, [0])
+        worlds = [
+            frozenset({P1("a"), Q1("a"), Q1("b")}),
+            frozenset({P1("a"), P1("b"), Q1("a")}),
+            frozenset(),
+        ]
+        for world in worlds:
+            assert ind.holds_in_world(world) == TemplateDependency.holds_in_world(
+                ind, world
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            InclusionDependency(Emp, [0, 1], Q1, [0])
+
+    def test_unmapped_parent_columns_rejected(self):
+        # Template dependencies have no existentials (Section 3.5).
+        with pytest.raises(SchemaError):
+            InclusionDependency(P1, [0], Emp, [0])
+
+    def test_column_projection(self):
+        ind = InclusionDependency(Emp, [1], Q1, [0])
+        assert ind.holds_in_world(frozenset({Emp("k", "v"), Q1("v")}))
+        assert not ind.holds_in_world(frozenset({Emp("k", "v"), Q1("k")}))
+
+
+class TestMultivaluedDependency:
+    def test_columns_must_not_overlap(self):
+        with pytest.raises(SchemaError):
+            MultivaluedDependency(R3, [0], [0])
+
+    def test_holds_when_closed_under_swap(self):
+        mvd = MultivaluedDependency(R3, [0], [1])
+        world = frozenset({
+            R3("x", "y1", "z1"), R3("x", "y2", "z2"),
+            R3("x", "y1", "z2"), R3("x", "y2", "z1"),
+        })
+        assert mvd.holds_in_world(world)
+
+    def test_violated_when_swap_missing(self):
+        mvd = MultivaluedDependency(R3, [0], [1])
+        world = frozenset({R3("x", "y1", "z1"), R3("x", "y2", "z2")})
+        assert not mvd.holds_in_world(world)
+
+    def test_different_keys_independent(self):
+        mvd = MultivaluedDependency(R3, [0], [1])
+        world = frozenset({R3("x", "y1", "z1"), R3("w", "y2", "z2")})
+        assert mvd.holds_in_world(world)
+
+    def test_fast_path_agrees_with_template(self):
+        mvd = MultivaluedDependency(R3, [0], [1])
+        worlds = [
+            frozenset({R3("x", "y1", "z1"), R3("x", "y2", "z2")}),
+            frozenset({
+                R3("x", "y1", "z1"), R3("x", "y2", "z2"),
+                R3("x", "y1", "z2"), R3("x", "y2", "z1"),
+            }),
+            frozenset({R3("x", "y", "z")}),
+            frozenset(),
+        ]
+        for world in worlds:
+            assert mvd.holds_in_world(world) == TemplateDependency.holds_in_world(
+                mvd, world
+            )

@@ -1,0 +1,155 @@
+"""Unit tests for the Section 3.6 indexed wff store."""
+
+import pytest
+
+from repro.errors import TheoryError
+from repro.logic.parser import parse, parse_atom
+from repro.logic.printer import to_text
+from repro.logic.terms import Predicate, PredicateConstant
+from repro.theory.index import WffStore
+
+P = Predicate("P", 1)
+a, b, c = P("a"), P("b"), P("c")
+
+
+@pytest.fixture
+def store():
+    s = WffStore()
+    s.add(parse("P(a)"))
+    s.add(parse("P(a) | P(b)"))
+    return s
+
+
+class TestAddAndMaterialize:
+    def test_round_trip(self, store):
+        assert [to_text(f) for f in store.formulas()] == ["P(a)", "P(a) | P(b)"]
+
+    def test_all_connectives_round_trip(self):
+        s = WffStore()
+        formula = parse("!(P(a) -> P(b)) <-> (P(c) & T | F)")
+        s.add(formula)
+        assert s.formulas()[0] == formula
+
+    def test_len(self, store):
+        assert len(store) == 2
+
+    def test_size_counts_nodes(self, store):
+        assert store.size() == 1 + 3
+
+
+class TestIndexes:
+    def test_contains_atom(self, store):
+        assert store.contains_atom(a)
+        assert store.contains_atom(b)
+        assert not store.contains_atom(c)
+
+    def test_predicate_atoms_sorted(self, store):
+        assert store.predicate_atoms(P) == (a, b)
+
+    def test_ground_atoms(self, store):
+        assert store.ground_atoms() == {a, b}
+
+    def test_predicate_constants_indexed(self):
+        s = WffStore()
+        s.add(parse("p | P(a)"))
+        assert s.predicate_constants() == {PredicateConstant("p")}
+        assert s.contains_atom(PredicateConstant("p"))
+
+    def test_occurrence_count(self, store):
+        assert store.occurrence_count(a) == 2
+        assert store.occurrence_count(b) == 1
+        assert store.occurrence_count(c) == 0
+
+    def test_max_predicate_population(self, store):
+        assert store.max_predicate_population() == 2
+        store.add(parse("Q(x) | Q(y) | Q(z)"))
+        assert store.max_predicate_population() == 3
+
+    def test_empty_store(self):
+        s = WffStore()
+        assert s.max_predicate_population() == 0
+        assert s.ground_atoms() == frozenset()
+
+
+class TestRename:
+    def test_rename_redirects_all_occurrences(self, store):
+        pc = PredicateConstant("@p0")
+        count = store.rename(a, pc)
+        assert count == 2
+        assert [to_text(f) for f in store.formulas()] == ["@p0", "@p0 | P(b)"]
+
+    def test_rename_updates_indexes(self, store):
+        pc = PredicateConstant("@p0")
+        store.rename(a, pc)
+        assert not store.contains_atom(a)
+        assert store.contains_atom(pc)
+        assert store.predicate_atoms(P) == (b,)
+
+    def test_rename_missing_atom_noop(self, store):
+        assert store.rename(c, PredicateConstant("@p0")) == 0
+
+    def test_rename_then_add_original_again(self, store):
+        # GUA Step 4 re-introduces the original atom after Step 2 renamed it.
+        pc = PredicateConstant("@p0")
+        store.rename(a, pc)
+        store.add(parse("P(a) <-> @p0"))
+        assert store.contains_atom(a)
+        assert store.contains_atom(pc)
+        # The earlier wffs still show the predicate constant.
+        assert to_text(store.formulas()[0]) == "@p0"
+
+    def test_rename_to_existing_atom_merges(self):
+        s = WffStore()
+        s.add(parse("P(a)"))
+        s.add(parse("P(b)"))
+        s.rename(a, b)
+        assert s.occurrence_count(b) == 2
+        assert [to_text(f) for f in s.formulas()] == ["P(b)", "P(b)"]
+
+    def test_rename_is_cheap_in_occurrences(self):
+        # One cell update regardless of occurrence count.
+        s = WffStore()
+        big = parse(" & ".join(["P(a)"] * 50))
+        s.add(big)
+        assert s.occurrence_count(a) == 50
+        count = s.rename(a, PredicateConstant("@p0"))
+        assert count == 50
+
+
+class TestRemove:
+    def test_remove_releases_atoms(self, store):
+        first = store.wffs()[0]
+        store.remove(first)
+        assert store.occurrence_count(a) == 1  # one left in "P(a) | P(b)"
+        assert store.contains_atom(a)
+
+    def test_remove_last_occurrence_clears_index(self):
+        s = WffStore()
+        wff = s.add(parse("P(a)"))
+        s.remove(wff)
+        assert not s.contains_atom(a)
+        assert s.ground_atoms() == frozenset()
+
+    def test_remove_foreign_wff_rejected(self, store):
+        other = WffStore().add(parse("P(z)"))
+        with pytest.raises(TheoryError):
+            store.remove(other)
+
+
+class TestReplaceAndCopy:
+    def test_replace_all(self, store):
+        store.replace_all([parse("P(c)")])
+        assert store.ground_atoms() == {c}
+        assert len(store) == 1
+
+    def test_copy_independent(self, store):
+        clone = store.copy()
+        clone.rename(a, PredicateConstant("@p0"))
+        assert store.contains_atom(a)
+        assert not clone.contains_atom(a)
+
+    def test_copy_preserves_content(self, store):
+        clone = store.copy()
+        assert [to_text(f) for f in clone.formulas()] == [
+            to_text(f) for f in store.formulas()
+        ]

@@ -1,0 +1,51 @@
+"""Unit tests for the store version counter (derived-cache staleness)."""
+
+from repro.logic.parser import parse, parse_atom
+from repro.logic.terms import PredicateConstant
+from repro.theory.index import WffStore
+
+
+class TestVersionCounter:
+    def test_add_bumps(self):
+        store = WffStore()
+        before = store.version
+        store.add(parse("P(a)"))
+        assert store.version > before
+
+    def test_rename_bumps(self):
+        store = WffStore()
+        store.add(parse("P(a)"))
+        before = store.version
+        store.rename(parse_atom("P(a)"), PredicateConstant("@x"))
+        assert store.version > before
+
+    def test_noop_rename_does_not_bump(self):
+        store = WffStore()
+        store.add(parse("P(a)"))
+        before = store.version
+        store.rename(parse_atom("P(zz)"), PredicateConstant("@x"))
+        assert store.version == before
+
+    def test_remove_bumps(self):
+        store = WffStore()
+        stored = store.add(parse("P(a)"))
+        before = store.version
+        store.remove(stored)
+        assert store.version > before
+
+    def test_replace_all_bumps(self):
+        store = WffStore()
+        store.add(parse("P(a)"))
+        before = store.version
+        store.replace_all([parse("P(b)")])
+        assert store.version > before
+
+    def test_reads_do_not_bump(self):
+        store = WffStore()
+        store.add(parse("P(a) | P(b)"))
+        before = store.version
+        store.formulas()
+        store.ground_atoms()
+        store.contains_atom(parse_atom("P(a)"))
+        store.predicate_atoms(parse_atom("P(a)").predicate)
+        assert store.version == before

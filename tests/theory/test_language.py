@@ -1,0 +1,107 @@
+"""Unit tests for the language L and its extensions."""
+
+import pytest
+
+from repro.errors import LanguageError
+from repro.logic.parser import parse
+from repro.logic.terms import Constant, Predicate, PredicateConstant
+from repro.theory.language import Language
+from repro.theory.schema import schema_from_dict
+
+
+class TestRegistration:
+    def test_add_predicate(self):
+        lang = Language()
+        predicate = lang.add_predicate(Predicate("P", 2))
+        assert lang.has_predicate(predicate)
+
+    def test_arity_clash_rejected(self):
+        lang = Language()
+        lang.add_predicate(Predicate("P", 2))
+        with pytest.raises(LanguageError):
+            lang.add_predicate(Predicate("P", 3))
+
+    def test_re_add_same_ok(self):
+        lang = Language()
+        lang.add_predicate(Predicate("P", 2))
+        lang.add_predicate(Predicate("P", 2))
+        assert len(lang.predicates()) == 1
+
+    def test_add_constant_idempotent(self):
+        lang = Language()
+        lang.add_constant(Constant("a"))
+        lang.add_constant(Constant("a"))
+        assert lang.constants() == (Constant("a"),)
+
+    def test_register_formula(self):
+        lang = Language()
+        lang.register_formula(parse("Orders(700,32,9) & p"))
+        assert lang.predicate("Orders").arity == 3
+        assert Constant("700") in lang.constants()
+        assert PredicateConstant("p") in lang.used_predicate_constants()
+
+    def test_schema_preloads_predicates(self):
+        schema = schema_from_dict({"R": ["A", "B"]})
+        lang = Language(schema=schema)
+        assert lang.has_predicate(Predicate("R", 2))
+        assert lang.has_predicate(Predicate("A", 1))
+
+    def test_unknown_predicate_lookup(self):
+        with pytest.raises(LanguageError):
+            Language().predicate("Nope")
+
+
+class TestFreshConstants:
+    def test_fresh_are_distinct(self):
+        lang = Language()
+        first = lang.fresh_predicate_constant()
+        second = lang.fresh_predicate_constant()
+        assert first != second
+
+    def test_fresh_avoids_used(self):
+        lang = Language()
+        lang.note_predicate_constant(PredicateConstant("@p0"))
+        fresh = lang.fresh_predicate_constant()
+        assert fresh != PredicateConstant("@p0")
+
+    def test_fresh_prefix(self):
+        lang = Language(fresh_prefix="@x")
+        assert str(lang.fresh_predicate_constant()).startswith("@x")
+
+
+class TestExtension:
+    def test_extended_contains_base(self):
+        lang = Language(predicates=[Predicate("P", 1)], constants=[Constant("a")])
+        extension = lang.extended(predicates=[Predicate("Q", 1)])
+        assert extension.has_predicate(Predicate("P", 1))
+        assert extension.has_predicate(Predicate("Q", 1))
+        assert Constant("a") in extension.constants()
+
+    def test_extension_does_not_mutate_base(self):
+        lang = Language()
+        lang.extended(predicates=[Predicate("Q", 1)])
+        assert not lang.has_predicate(Predicate("Q", 1))
+
+    def test_copy(self):
+        lang = Language(constants=[Constant("a")])
+        clone = lang.copy()
+        clone.add_constant(Constant("b"))
+        assert Constant("b") not in lang.constants()
+
+    def test_extension_shares_used_predicate_constants(self):
+        lang = Language()
+        pc = lang.fresh_predicate_constant()
+        extension = lang.extended()
+        assert pc in extension.used_predicate_constants()
+
+
+class TestUniqueNameAxioms:
+    def test_rendered_for_each_pair(self):
+        lang = Language(constants=[Constant("a"), Constant("b"), Constant("c")])
+        axioms = list(lang.unique_name_axioms())
+        assert len(axioms) == 3
+        assert "!(a = b)" in axioms
+
+    def test_empty_for_single_constant(self):
+        lang = Language(constants=[Constant("a")])
+        assert list(lang.unique_name_axioms()) == []

@@ -1,0 +1,152 @@
+"""Unit tests for schemas, attributes, and type obligations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.logic.parser import parse, parse_atom
+from repro.logic.syntax import And, Atom
+from repro.logic.terms import Predicate
+from repro.theory.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    schema_from_dict,
+)
+
+
+@pytest.fixture
+def orders_schema():
+    return schema_from_dict(
+        {"Orders": ["OrderNo", "PartNo", "Quan"], "InStock": ["PartNo", "Quan"]}
+    )
+
+
+class TestAttribute:
+    def test_is_unary(self):
+        assert Attribute("PartNo").predicate.arity == 1
+
+    def test_callable(self):
+        atom = Attribute("PartNo")(32)
+        assert str(atom) == "PartNo(32)"
+
+    def test_equality(self):
+        assert Attribute("A") == Attribute("A")
+        assert Attribute("A") != Attribute("B")
+
+
+class TestRelationSchema:
+    def test_arity_from_columns(self):
+        rel = RelationSchema("Orders", ["OrderNo", "PartNo", "Quan"])
+        assert rel.arity == 3
+
+    def test_needs_columns(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("Empty", [])
+
+    def test_attribute_atoms(self):
+        rel = RelationSchema("Orders", ["OrderNo", "PartNo", "Quan"])
+        atoms = rel.attribute_atoms(rel(700, 32, 9))
+        assert [str(a) for a in atoms] == ["OrderNo(700)", "PartNo(32)", "Quan(9)"]
+
+    def test_attribute_atoms_wrong_relation(self):
+        rel = RelationSchema("Orders", ["OrderNo"])
+        other = Predicate("Other", 1)
+        with pytest.raises(SchemaError):
+            rel.attribute_atoms(other("x"))
+
+
+class TestDatabaseSchema:
+    def test_shared_attributes(self, orders_schema):
+        # PartNo appears in both relations but is one attribute.
+        assert len(orders_schema.attributes()) == 3
+
+    def test_duplicate_relation_rejected(self):
+        rel = RelationSchema("R", ["A"])
+        with pytest.raises(SchemaError):
+            DatabaseSchema([rel, rel])
+
+    def test_relation_lookup(self, orders_schema):
+        assert orders_schema.relation("Orders").arity == 3
+        with pytest.raises(SchemaError):
+            orders_schema.relation("Missing")
+
+    def test_relation_of_predicate(self, orders_schema):
+        predicate = Predicate("Orders", 3)
+        assert orders_schema.relation_of(predicate) is not None
+        assert orders_schema.relation_of(Predicate("Orders", 2)) is None
+
+    def test_is_attribute(self, orders_schema):
+        assert orders_schema.is_attribute(Predicate("PartNo", 1))
+        assert not orders_schema.is_attribute(Predicate("Orders", 3))
+        assert not orders_schema.is_attribute(Predicate("PartNo", 2))
+
+    def test_attribute_lookup(self, orders_schema):
+        assert orders_schema.attribute("Quan").name == "Quan"
+        with pytest.raises(SchemaError):
+            orders_schema.attribute("Nope")
+
+
+class TestTypeObligations:
+    def test_relation_atom_obliges_attributes(self, orders_schema):
+        atom = parse_atom("Orders(700,32,9)")
+        obligations = orders_schema.type_obligations(atom)
+        assert [str(o) for o in obligations] == [
+            "OrderNo(700)", "PartNo(32)", "Quan(9)"
+        ]
+
+    def test_attribute_atom_obliges_nothing(self, orders_schema):
+        assert orders_schema.type_obligations(parse_atom("PartNo(32)")) == ()
+
+    def test_unknown_predicate_obliges_nothing(self, orders_schema):
+        assert orders_schema.type_obligations(parse_atom("Zed(1)")) == ()
+
+
+class TestWorldSatisfaction:
+    def test_satisfied(self, orders_schema):
+        atoms = [
+            parse_atom("Orders(700,32,9)"),
+            parse_atom("OrderNo(700)"),
+            parse_atom("PartNo(32)"),
+            parse_atom("Quan(9)"),
+        ]
+        assert orders_schema.world_satisfies_types(atoms)
+
+    def test_violated(self, orders_schema):
+        atoms = [parse_atom("Orders(700,32,9)"), parse_atom("OrderNo(700)")]
+        assert not orders_schema.world_satisfies_types(atoms)
+
+    def test_empty_world_trivially_satisfied(self, orders_schema):
+        assert orders_schema.world_satisfies_types([])
+
+
+class TestTagging:
+    def test_tag_conjoins_attributes(self, orders_schema):
+        tagged = orders_schema.tag_with_attributes(parse("Orders(700,32,9)"))
+        assert isinstance(tagged, And)
+        assert parse_atom("OrderNo(700)") in tagged.ground_atoms()
+
+    def test_tag_no_relation_atoms_untouched(self, orders_schema):
+        formula = parse("PartNo(32)")
+        assert orders_schema.tag_with_attributes(formula) is formula
+
+    def test_tag_deduplicates_obligations(self, orders_schema):
+        # PartNo(32) and Quan(9) are obliged by both relations: once each.
+        tagged = orders_schema.tag_with_attributes(
+            parse("Orders(700,32,9) | InStock(32,9)")
+        )
+        obligations = [
+            op.atom
+            for op in tagged.operands[1:]  # conjuncts after the original
+        ]
+        assert len(obligations) == len(set(obligations)) == 3
+
+
+class TestSchemaFromDict:
+    def test_builds(self):
+        schema = schema_from_dict({"R": ["A", "B"], "S": ["B", "C"]})
+        assert {r.name for r in schema.relations()} == {"R", "S"}
+        assert {a.name for a in schema.attributes()} == {"A", "B", "C"}
+
+    def test_shared_attribute_object(self):
+        schema = schema_from_dict({"R": ["A"], "S": ["A"]})
+        assert schema.relation("R").attributes[0] == schema.relation("S").attributes[0]

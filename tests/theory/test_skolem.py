@@ -1,0 +1,120 @@
+"""Unit tests for the Skolem-constant null-value extension."""
+
+import pytest
+
+from repro.errors import LanguageError, TheoryError
+from repro.logic.parser import parse
+from repro.logic.terms import Constant
+from repro.theory.skolem import (
+    NullBinding,
+    SkolemConstant,
+    SkolemTheory,
+    instantiate,
+    is_null,
+    nulls_in_formula,
+)
+from repro.theory.worlds import AlternativeWorld
+
+alice, bob = Constant("alice"), Constant("bob")
+
+
+class TestSkolemConstant:
+    def test_prefix_enforced(self):
+        assert SkolemConstant("x").name == "null_x"
+        assert SkolemConstant("null_x").name == "null_x"
+
+    def test_is_null(self):
+        assert is_null(SkolemConstant("x"))
+        assert is_null(Constant("null_7"))  # prefix convention honoured
+        assert not is_null(alice)
+
+    def test_equality_with_plain_constant_of_same_name(self):
+        # A Skolem constant is identified by name like any constant; the
+        # special semantics live in the binding machinery.
+        assert SkolemConstant("x") == Constant("null_x")
+
+
+class TestNullBinding:
+    def test_valid(self):
+        binding = NullBinding({SkolemConstant("x"): alice})
+        assert binding[SkolemConstant("x")] == alice
+
+    def test_rejects_non_null_key(self):
+        with pytest.raises(LanguageError):
+            NullBinding({alice: bob})
+
+    def test_rejects_null_value(self):
+        with pytest.raises(LanguageError):
+            NullBinding({SkolemConstant("x"): SkolemConstant("y")})
+
+
+class TestInstantiate:
+    def test_replaces_nulls(self):
+        formula = parse("Emp(null_1) & Mgr(null_1, boss)")
+        binding = NullBinding({SkolemConstant("1"): alice})
+        result = instantiate(formula, binding)
+        assert str(result) == "Emp(alice) & Mgr(alice,boss)"
+
+    def test_unbound_nulls_stay(self):
+        formula = parse("Emp(null_1)")
+        result = instantiate(formula, NullBinding({}))
+        assert result == formula
+
+    def test_nulls_in_formula(self):
+        formula = parse("Emp(null_1) | Emp(null_2) | Emp(alice)")
+        assert {c.name for c in nulls_in_formula(formula)} == {"null_1", "null_2"}
+
+
+class TestSkolemTheory:
+    def test_worlds_union_over_bindings(self):
+        theory = SkolemTheory([parse("Emp(null_1)")])
+        worlds = theory.alternative_worlds([alice, bob])
+        from repro.logic.terms import Predicate
+
+        Emp = Predicate("Emp", 1)
+        assert worlds == {
+            AlternativeWorld([Emp("alice")]),
+            AlternativeWorld([Emp("bob")]),
+        }
+
+    def test_null_may_collide_with_known_constant(self):
+        # No unique-name axiom between a null and ordinary constants: the
+        # null may denote alice even though Emp(alice) is already present.
+        theory = SkolemTheory([parse("Emp(alice)"), parse("Emp(null_1)")])
+        worlds = theory.alternative_worlds([alice, bob])
+        sizes = sorted(len(w) for w in worlds)
+        assert sizes == [1, 2]  # null=alice collapses to one tuple
+
+    def test_two_nulls_bind_independently(self):
+        theory = SkolemTheory([parse("Emp(null_1) & Emp(null_2)")])
+        worlds = theory.alternative_worlds([alice, bob])
+        assert len(worlds) == 3  # {a}, {b}, {a,b}
+
+    def test_no_nulls_single_binding(self):
+        theory = SkolemTheory([parse("Emp(alice)")])
+        assert len(list(theory.bindings([alice]))) == 1
+
+    def test_empty_domain_rejected_when_nulls_present(self):
+        theory = SkolemTheory([parse("Emp(null_1)")])
+        with pytest.raises(TheoryError):
+            list(theory.bindings([]))
+
+    def test_growing_domain_grows_worlds(self):
+        # The paper's "infinite set of models": worlds grow with the domain.
+        theory = SkolemTheory([parse("Emp(null_1)")])
+        two = theory.alternative_worlds([alice, bob])
+        three = theory.alternative_worlds([alice, bob, Constant("carol")])
+        assert len(three) > len(two)
+
+    def test_gua_runs_on_each_instantiation(self):
+        # The extension point: GUA operates unchanged per binding.
+        from repro.core.gua import gua_update
+
+        theory = SkolemTheory([parse("Emp(null_1)")])
+        for binding in theory.bindings([alice, bob]):
+            instantiated = theory.instantiated(binding)
+            gua_update(instantiated, "INSERT Emp(dana) WHERE T")
+            assert any(
+                w.satisfies(parse("Emp(dana)"))
+                for w in instantiated.alternative_worlds()
+            )

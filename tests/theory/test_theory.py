@@ -1,0 +1,232 @@
+"""Unit tests for ExtendedRelationalTheory."""
+
+import pytest
+
+from repro.errors import TheoryError
+from repro.logic.parser import parse, parse_atom
+from repro.logic.terms import Predicate
+from repro.theory.dependencies import FunctionalDependency
+from repro.theory.schema import schema_from_dict
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+P = Predicate("P", 1)
+
+
+class TestNonAxiomaticSection:
+    def test_add_formula_text(self):
+        theory = ExtendedRelationalTheory()
+        theory.add_formula("P(a) | P(b)")
+        assert len(theory.formulas()) == 1
+
+    def test_add_formula_registers_language(self):
+        theory = ExtendedRelationalTheory()
+        theory.add_formula("Orders(700,32,9)")
+        assert theory.language.predicate("Orders").arity == 3
+
+    def test_add_rejects_non_formula(self):
+        theory = ExtendedRelationalTheory()
+        with pytest.raises(TheoryError):
+            theory.add_formula(42)  # type: ignore[arg-type]
+
+    def test_remove_wff(self):
+        theory = ExtendedRelationalTheory()
+        stored = theory.add_formula("P(a)")
+        theory.remove_wff(stored)
+        assert theory.formulas() == ()
+
+    def test_replace_formulas(self):
+        theory = ExtendedRelationalTheory()
+        theory.add_formula("P(a)")
+        theory.replace_formulas([parse("P(b)")])
+        assert theory.atom_universe() == {P("b")}
+
+
+class TestDerivedAxioms:
+    def test_atom_universe_tracks_section(self):
+        theory = ExtendedRelationalTheory()
+        theory.add_formula("P(a) & !P(b)")
+        assert theory.atom_universe() == {P("a"), P("b")}
+
+    def test_completion_axiom_invariant(self):
+        # Disjunct iff the atom appears in the theory (Section 2).
+        theory = ExtendedRelationalTheory()
+        theory.add_formula("P(a) | P(b)")
+        axioms = {ax.predicate: ax for ax in theory.completion_axioms()}
+        assert axioms[P].disjuncts == (P("a"), P("b"))
+
+    def test_empty_predicate_gets_negative_axiom(self):
+        schema = schema_from_dict({"R": ["A"]})
+        theory = ExtendedRelationalTheory(schema=schema)
+        rendered = {ax.predicate.name: ax.render() for ax in theory.completion_axioms()}
+        assert rendered["R"] == "forall x1 !R(x1)"
+
+    def test_type_axioms_from_schema(self):
+        schema = schema_from_dict({"R": ["A", "B"]})
+        theory = ExtendedRelationalTheory(schema=schema)
+        assert len(theory.type_axioms()) == 1
+
+    def test_no_schema_no_type_axioms(self):
+        assert ExtendedRelationalTheory().type_axioms() == ()
+
+    def test_add_dependency(self):
+        theory = ExtendedRelationalTheory()
+        fd = FunctionalDependency(Predicate("E", 2), [0], [1])
+        theory.add_dependency(fd)
+        assert theory.dependencies == (fd,)
+
+
+class TestReasoning:
+    def test_consistency(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        assert theory.is_consistent()
+        theory.add_formula("!P(a)")
+        assert not theory.is_consistent()
+
+    def test_empty_theory_one_world(self):
+        theory = ExtendedRelationalTheory()
+        assert theory.world_set() == {AlternativeWorld()}
+
+    def test_world_enumeration(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)"])
+        assert theory.world_count() == 3
+
+    def test_world_limit(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)"])
+        assert len(list(theory.alternative_worlds(limit=2))) == 2
+
+    def test_world_count_cap(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)"])
+        assert theory.world_count(cap=1) == 1
+
+    def test_inconsistent_theory_no_worlds(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a)", "!P(a)"])
+        assert theory.world_set() == frozenset()
+
+    def test_predicate_constants_invisible_in_worlds(self):
+        theory = ExtendedRelationalTheory(formulas=["p <-> P(a)", "P(a) | P(b)"])
+        for world in theory.alternative_worlds():
+            for atom in world.true_atoms:
+                assert not atom.is_predicate_constant
+
+    def test_negative_fact_forces_false(self):
+        theory = ExtendedRelationalTheory(formulas=["!P(a)", "P(a) | P(b)"])
+        assert theory.world_set() == {AlternativeWorld([P("b")])}
+
+    def test_unmentioned_atoms_closed_world(self):
+        # P(z) never appears: false in every world, so not in the universe.
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        assert P("z") not in theory.atom_universe()
+        assert all(P("z") not in w.true_atoms for w in theory.alternative_worlds())
+
+
+class TestAxiomInvariant:
+    def test_satisfied(self):
+        schema = schema_from_dict({"R": ["A"]})
+        theory = ExtendedRelationalTheory(schema=schema)
+        theory.add_formula("R(x) & A(x)")
+        assert theory.satisfies_axiom_invariant()
+
+    def test_violated_by_type_axiom(self):
+        schema = schema_from_dict({"R": ["A"]})
+        theory = ExtendedRelationalTheory(schema=schema)
+        theory.add_formula("R(x)")  # world {R(x)} violates R -> A
+        assert not theory.satisfies_axiom_invariant()
+
+    def test_violated_by_dependency(self):
+        E = Predicate("E", 2)
+        fd = FunctionalDependency(E, [0], [1])
+        theory = ExtendedRelationalTheory(dependencies=[fd])
+        theory.add_formula("E(k,v1) | E(k,v2)")
+        theory.add_formula("E(k,v1) | !E(k,v1)")
+        theory.add_formula("E(k,v2) | !E(k,v2)")
+        assert not theory.satisfies_axiom_invariant()
+
+
+class TestLifecycle:
+    def test_copy_independent(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        clone = theory.copy()
+        clone.add_formula("P(b)")
+        assert len(theory.formulas()) == 1
+
+    def test_copy_preserves_schema_and_dependencies(self):
+        schema = schema_from_dict({"R": ["A"]})
+        fd = FunctionalDependency(Predicate("E", 2), [0], [1])
+        theory = ExtendedRelationalTheory(schema=schema, dependencies=[fd])
+        clone = theory.copy()
+        assert clone.schema is schema
+        assert clone.dependencies == (fd,)
+
+    def test_fresh_predicate_constant_avoids_store(self):
+        theory = ExtendedRelationalTheory(formulas=["@p0"])
+        fresh = theory.fresh_predicate_constant()
+        assert str(fresh) != "@p0"
+
+    def test_size_and_population(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)", "P(c)"])
+        assert theory.size() == 3 + 1
+        assert theory.max_predicate_population() == 3
+
+    def test_pretty_contains_sections(self):
+        schema = schema_from_dict({"R": ["A"]})
+        theory = ExtendedRelationalTheory(schema=schema, formulas=["R(x) & A(x)"])
+        text = theory.pretty()
+        assert "completion axioms" in text
+        assert "type axioms" in text
+        assert "non-axiomatic section" in text
+
+
+class TestStatistics:
+    def test_keys_and_values(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)", "!P(c)", "@p0"])
+        stats = theory.statistics()
+        assert stats["wffs"] == 3
+        assert stats["nodes"] == 3 + 2 + 1
+        assert stats["ground_atoms"] == 3
+        assert stats["predicate_constants"] == 1
+        assert stats["max_predicate_population"] == 3
+        assert stats["dependencies"] == 0
+
+    def test_tracks_mutation(self):
+        theory = ExtendedRelationalTheory()
+        assert theory.statistics()["wffs"] == 0
+        theory.add_formula("P(a)")
+        assert theory.statistics()["wffs"] == 1
+
+
+class TestClauseCache:
+    def test_query_burst_reuses_encoding(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a) | P(b)"])
+        first = theory.clauses()
+        second = theory.clauses()
+        assert first == second
+        # Cache returns a fresh list each call (callers mutate it).
+        first.append(frozenset())
+        assert frozenset() not in theory.clauses()
+
+    def test_mutation_invalidates(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        before = theory.clauses()
+        theory.add_formula("P(b)")
+        after = theory.clauses()
+        assert len(after) > len(before)
+
+    def test_rename_invalidates(self):
+        from repro.logic.terms import PredicateConstant
+
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        theory.clauses()
+        theory.store.rename(P("a"), PredicateConstant("@x"))
+        # After the rename, P(a) is gone from the section and hence from
+        # every clause of the fresh encoding.
+        atoms = set()
+        for clause in theory.clauses():
+            atoms.update(atom for atom, _ in clause)
+        assert P("a") not in atoms
+
+    def test_replace_formulas_invalidates(self):
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        theory.clauses()
+        theory.replace_formulas([parse("P(b)")])
+        assert theory.world_set() == {AlternativeWorld([P("b")])}

@@ -1,0 +1,119 @@
+"""Unit tests for alternative worlds."""
+
+import pytest
+
+from repro.logic.parser import parse, parse_atom
+from repro.logic.terms import Constant, Predicate
+from repro.theory.worlds import (
+    EMPTY_WORLD,
+    AlternativeWorld,
+    restrict_worlds,
+    world_set,
+    worlds_equal,
+)
+
+P = Predicate("P", 1)
+Orders = Predicate("Orders", 3)
+a, b = P("a"), P("b")
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(EMPTY_WORLD) == 0
+
+    def test_dedup(self):
+        assert len(AlternativeWorld([a, a, b])) == 2
+
+    def test_rejects_predicate_constants(self):
+        from repro.logic.terms import PredicateConstant
+
+        with pytest.raises(TypeError):
+            AlternativeWorld([PredicateConstant("p")])
+
+    def test_immutable(self):
+        world = AlternativeWorld([a])
+        with pytest.raises(AttributeError):
+            world.true_atoms = frozenset()
+
+
+class TestTruth:
+    def test_holds(self):
+        world = AlternativeWorld([a])
+        assert world.holds(a)
+        assert not world.holds(b)
+
+    def test_satisfies_closed_world(self):
+        world = AlternativeWorld([a])
+        assert world.satisfies(parse("P(a) & !P(b)"))
+        assert not world.satisfies(parse("P(zzz)"))
+
+    def test_satisfies_compound(self):
+        world = AlternativeWorld([a, b])
+        assert world.satisfies(parse("P(a) -> P(b)"))
+        assert world.satisfies(parse("P(a) <-> P(b)"))
+
+    def test_predicate_constants_read_false(self):
+        # A formula with a predicate constant is evaluated as if the
+        # constant were fresh/unconstrained-false.
+        world = AlternativeWorld([a])
+        assert not world.satisfies(parse("p"))
+        assert world.satisfies(parse("!p"))
+
+    def test_as_valuation(self):
+        world = AlternativeWorld([a])
+        valuation = world.as_valuation([a, b])
+        assert valuation[a] and not valuation[b]
+
+
+class TestRelationalViews:
+    def test_relation_sorted_tuples(self):
+        world = AlternativeWorld([Orders(2, 1, 1), Orders(1, 2, 3)])
+        rows = world.relation(Orders)
+        assert rows[0][0] == Constant("1")
+
+    def test_relation_empty(self):
+        assert EMPTY_WORLD.relation(Orders) == ()
+
+    def test_predicates(self):
+        world = AlternativeWorld([a, Orders(1, 2, 3)])
+        assert world.predicates() == (Orders, P)
+
+
+class TestAlgebra:
+    def test_with_atom_add(self):
+        assert AlternativeWorld([a]).with_atom(b, True) == AlternativeWorld([a, b])
+
+    def test_with_atom_remove(self):
+        assert AlternativeWorld([a]).with_atom(a, False) == EMPTY_WORLD
+
+    def test_updated(self):
+        world = AlternativeWorld([a]).updated({a: False, b: True})
+        assert world == AlternativeWorld([b])
+
+    def test_updated_identity(self):
+        world = AlternativeWorld([a])
+        assert world.updated({}) == world
+
+
+class TestSetHelpers:
+    def test_world_set_dedups(self):
+        assert len(world_set([AlternativeWorld([a]), AlternativeWorld([a])])) == 1
+
+    def test_worlds_equal(self):
+        left = [AlternativeWorld([a]), AlternativeWorld([b])]
+        right = [AlternativeWorld([b]), AlternativeWorld([a])]
+        assert worlds_equal(left, right)
+        assert not worlds_equal(left, [AlternativeWorld([a])])
+
+    def test_restrict_worlds(self):
+        worlds = [AlternativeWorld([a]), AlternativeWorld([a, b])]
+        snapshots = restrict_worlds(worlds, P)
+        assert ((Constant("a"),),) in snapshots
+
+    def test_iteration_sorted(self):
+        world = AlternativeWorld([b, a])
+        assert list(world) == [a, b]
+
+    def test_repr_stable(self):
+        assert repr(AlternativeWorld([a])) == "World{P(a)}"
+        assert repr(EMPTY_WORLD) == "World{}"
