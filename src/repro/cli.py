@@ -12,6 +12,7 @@ Interactive commands (anything else is parsed as an LDML statement):
     .select <rel>     tuple membership with status
     .worlds [n]       list (up to n) alternative worlds
     .theory           print the theory with its derived axioms
+    .stats            engine statistics (theory sizes, SAT counters, caches)
     .simplify         run the Section 4 simplifier
     .savepoint <name> / .rollback <name>
     .save <file> / .load <file>
@@ -86,6 +87,9 @@ def handle_command(db: Database, line: str, out=None) -> Optional[Database]:
             print(f"  ... (showing first {limit})", file=out)
     elif command == ".theory":
         print(db.theory.pretty(), file=out)
+    elif command == ".stats":
+        for key, value in db.statistics().items():
+            print(f"  {key}: {value}", file=out)
     elif command == ".simplify":
         report = db.simplify()
         print(

@@ -14,7 +14,7 @@ user of the library holds::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.gua import GuaExecutor, GuaResult
 from repro.core.simplification import AutoSimplifier, SimplificationReport, simplify_theory
@@ -69,21 +69,33 @@ class Database:
         self._simplifier = (
             AutoSimplifier(simplify_every) if simplify_every else None
         )
+        # Per-savepoint simplifier state (update-counter phase, report
+        # count) so rollback restores the whole engine, not just the theory.
+        self._simplifier_marks: Dict[str, Tuple[int, int]] = {}
 
     # -- updates ---------------------------------------------------------------
 
     def update(self, statement: Union[GroundUpdate, str]) -> GuaResult:
         """Apply one LDML update through GUA.
 
-        Statements containing ``?var`` variables are open updates: they are
-        grounded over the theory's atom universe and executed as one
-        simultaneous set of ground updates (Section 4's reduction).
+        Statements containing ``?var`` variables — either strings or
+        :class:`~repro.ldml.open_updates.OpenUpdate` objects — are open
+        updates: they are grounded over the theory's atom universe and
+        executed as one simultaneous set of ground updates (Section 4's
+        reduction).
         """
-        if isinstance(statement, str) and "?" in statement:
+        from repro.ldml.open_updates import OpenUpdate
+
+        if isinstance(statement, str):
+            if "?" in statement:
+                return self.update_open(statement)
+            update = parse_update(statement)
+        elif isinstance(statement, OpenUpdate):
+            # An OpenUpdate is not a GroundUpdate: it has no .to_insert()
+            # and must go through the grounding path, ground or not.
             return self.update_open(statement)
-        update = (
-            parse_update(statement) if isinstance(statement, str) else statement
-        )
+        else:
+            update = statement
         update = self._tagged(update)
         result = self._executor.apply(update)
         self.transactions.log.record(result.update, self.theory.size())
@@ -203,8 +215,20 @@ class Database:
         """Run the Section 4 simplifier now."""
         return simplify_theory(self.theory, **options)
 
+    def statistics(self) -> Dict[str, int]:
+        """Engine-wide health metrics: theory sizes (see
+        :meth:`ExtendedRelationalTheory.statistics`), solver work counters
+        (``sat_*``), per-wff clause-cache traffic (``tseitin_cache_*``),
+        and ``updates_applied``."""
+        stats = dict(self.theory.statistics())
+        stats.update(self.theory.solver_statistics())
+        stats["updates_applied"] = len(self.transactions.log)
+        return stats
+
     def savepoint(self, name: str) -> None:
         self.transactions.savepoint(name, self.theory)
+        if self._simplifier is not None:
+            self._simplifier_marks[name] = self._simplifier.mark()
 
     def rollback(self, name: str) -> None:
         restored = self.transactions.rollback(name)
@@ -214,6 +238,18 @@ class Database:
         # section; drop the dedup registry so they can be re-added.
         if hasattr(self.theory, "_axiom_instances"):
             delattr(self.theory, "_axiom_instances")
+        # Re-sync the auto-simplifier with the restored timeline: its
+        # update counter and report list must match the savepoint, or the
+        # next update would simplify too early/late (or report phantom
+        # passes that the rollback undid).
+        if self._simplifier is not None:
+            mark = self._simplifier_marks.get(name)
+            if mark is not None:
+                self._simplifier.restore(mark)
+            surviving = set(self.transactions.savepoint_names())
+            self._simplifier_marks = {
+                n: m for n, m in self._simplifier_marks.items() if n in surviving
+            }
 
     def size(self) -> int:
         """Nodes in the stored non-axiomatic section."""

@@ -234,6 +234,17 @@ class AutoSimplifier:
         self._since_last = 0
         self.reports: List[SimplificationReport] = []
 
+    def mark(self) -> Tuple[int, int]:
+        """Opaque state capture (counter phase, reports seen) for rollback."""
+        return (self._since_last, len(self.reports))
+
+    def restore(self, mark: Tuple[int, int]) -> None:
+        """Restore a :meth:`mark`: reset the update counter and drop reports
+        produced after it, so a rollback rewinds the simplify cadence too."""
+        since_last, report_count = mark
+        self._since_last = since_last
+        del self.reports[report_count:]
+
     def after_update(
         self, theory: ExtendedRelationalTheory
     ) -> Optional[SimplificationReport]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import UpdateError
 from repro.ldml.ast import GroundUpdate
@@ -100,6 +100,9 @@ class TransactionManager:
         )
         self._savepoints[name] = point
         return point
+
+    def savepoint_names(self) -> Tuple[str, ...]:
+        return tuple(self._savepoints)
 
     def rollback(self, name: str) -> ExtendedRelationalTheory:
         try:

@@ -50,7 +50,12 @@ from repro.logic.transform import (
 )
 from repro.logic.cnf import to_cnf, tseitin, cnf_to_formula
 from repro.logic.dnf import count_satisfying, satisfying_valuations, to_dnf, valuation_set
-from repro.logic.sat import Solver, is_satisfiable as cnf_satisfiable, solve
+from repro.logic.sat import (
+    Solver,
+    SolverStats,
+    is_satisfiable as cnf_satisfiable,
+    solve,
+)
 from repro.logic.allsat import (
     count_models,
     iter_models,
@@ -115,6 +120,7 @@ __all__ = [
     "to_dnf",
     "valuation_set",
     "Solver",
+    "SolverStats",
     "cnf_satisfiable",
     "solve",
     "count_models",

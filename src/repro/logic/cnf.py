@@ -112,11 +112,25 @@ class TseitinResult:
         self.selectors = selectors
 
 
-def tseitin(formula: Formula, prefix: str = "@ts") -> TseitinResult:
+def tseitin(
+    formula: Formula, prefix: str = "@ts", *, full: bool = False
+) -> TseitinResult:
     """Equisatisfiable linear-size CNF via fresh selector variables.
 
     Selector names are ``{prefix}0, {prefix}1, ...`` — predicate constants,
     so they are automatically invisible in alternative worlds.
+
+    By default the encoding is polarity-aware (Plaisted–Greenbaum): the
+    input is in NNF, so every internal node occurs positively and only the
+    ``selector -> definition`` direction is needed.  This halves the clause
+    count on the solver's hot path while preserving satisfiability *and*
+    the projection of the model set onto the original atoms (selectors may
+    float free in some models, but they are invisible in worlds, so the
+    world enumerators — which block on projection atoms only — are
+    unaffected).  Pass ``full=True`` for the classical biconditional
+    encoding, under which every model determines its selector values
+    uniquely (useful when *total* model counts over the encoded clauses
+    must match the original formula's).
     """
     nnf = fold_constants(to_nnf(formula))
     if isinstance(nnf, Top):
@@ -155,20 +169,24 @@ def tseitin(formula: Formula, prefix: str = "@ts") -> TseitinResult:
             parts = [encode(op) for op in node.operands]
             sel = fresh()
             lit = (sel, True)
-            # sel -> each part;  all parts -> sel
+            # sel -> each part  (and, if full, all parts -> sel)
             for part_atom, part_pol in parts:
                 clauses.append(clause((sel, False), (part_atom, part_pol)))
-            clauses.append(
-                clause((sel, True), *[(a, not p) for a, p in parts])
-            )
+            if full:
+                clauses.append(
+                    clause((sel, True), *[(a, not p) for a, p in parts])
+                )
         elif isinstance(node, Or):
             parts = [encode(op) for op in node.operands]
             sel = fresh()
             lit = (sel, True)
-            # sel -> some part;  each part -> sel
+            # sel -> some part  (and, if full, each part -> sel)
             clauses.append(clause((sel, False), *parts))
-            for part_atom, part_pol in parts:
-                clauses.append(clause((sel, True), (part_atom, not part_pol)))
+            if full:
+                for part_atom, part_pol in parts:
+                    clauses.append(
+                        clause((sel, True), (part_atom, not part_pol))
+                    )
         else:
             raise TypeError(f"unexpected node in NNF: {node!r}")
         cache[node] = lit

@@ -84,7 +84,7 @@ def is_possible(
     clauses = theory.clauses()
     encoded = tseitin(prepared, prefix="@q")
     clauses.extend(encoded.clauses)
-    return Solver(clauses).solve() is not None
+    return Solver(clauses, stats=theory.sat_stats).solve() is not None
 
 
 def is_certain(
@@ -102,7 +102,7 @@ def is_certain(
     clauses = theory.clauses()
     encoded = tseitin(negated, prefix="@q")
     clauses.extend(encoded.clauses)
-    return Solver(clauses).solve() is None
+    return Solver(clauses, stats=theory.sat_stats).solve() is None
 
 
 def ask(theory: ExtendedRelationalTheory, query: Union[Formula, str]) -> Answer:
@@ -139,7 +139,7 @@ def witness_world(
         goal_clauses = list(encoded.clauses)
     clauses = theory.clauses()
     clauses.extend(goal_clauses)
-    model = Solver(clauses).solve()
+    model = Solver(clauses, stats=theory.sat_stats).solve()
     if model is None:
         return None
     universe = theory.atom_universe()

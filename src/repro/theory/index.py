@@ -73,13 +73,20 @@ class _StoredNode:
 
 
 class StoredWff:
-    """One wff of the non-axiomatic section, in shared-cell representation."""
+    """One wff of the non-axiomatic section, in shared-cell representation.
 
-    __slots__ = ("root", "store_id")
+    ``version`` counts in-place mutations (Step 2 renames touching any of
+    the wff's cells).  ``(store_id, version)`` therefore identifies the
+    wff's current logical content, which the theory layer uses as the key
+    of its per-wff Tseitin clause cache.
+    """
+
+    __slots__ = ("root", "store_id", "version")
 
     def __init__(self, root: _StoredNode, store_id: int):
         self.root = root
         self.store_id = store_id
+        self.version = 0
 
     def to_formula(self) -> Formula:
         return _materialize(self.root)
@@ -171,6 +178,9 @@ class WffStore:
     def __init__(self):
         self._wffs: List[StoredWff] = []
         self._cells: Dict[AtomLike, List[AtomCell]] = {}
+        # Cell -> wffs referencing it (the reverse of the occurrence lists):
+        # lets rename() bump exactly the versions of the wffs it rewrote.
+        self._cell_owners: Dict[AtomCell, List[StoredWff]] = {}
         self._indexes: Dict[Predicate, _SortedKeyList] = {}
         self._pc_index = _SortedKeyList()
         self._next_id = 0
@@ -256,13 +266,16 @@ class WffStore:
     def add(self, formula: Formula) -> StoredWff:
         """Store a wff, interning its atoms into shared cells."""
         self.version += 1
-        root = self._intern(formula)
+        cells: List[AtomCell] = []
+        root = self._intern(formula, cells)
         stored = StoredWff(root, self._next_id)
         self._next_id += 1
         self._wffs.append(stored)
+        for cell in set(cells):
+            self._cell_owners.setdefault(cell, []).append(stored)
         return stored
 
-    def _intern(self, formula: Formula) -> _StoredNode:
+    def _intern(self, formula: Formula, cells: List[AtomCell]) -> _StoredNode:
         if isinstance(formula, Top):
             return _StoredNode("top")
         if isinstance(formula, Bottom):
@@ -270,29 +283,37 @@ class WffStore:
         if isinstance(formula, Atom):
             cell = self._cell_for(formula.atom)
             cell.occurrences += 1
+            cells.append(cell)
             return _StoredNode("atom", cell=cell)
         if isinstance(formula, Not):
-            return _StoredNode("not", children=(self._intern(formula.operand),))
+            return _StoredNode(
+                "not", children=(self._intern(formula.operand, cells),)
+            )
         if isinstance(formula, And):
             return _StoredNode(
-                "and", children=tuple(self._intern(op) for op in formula.operands)
+                "and",
+                children=tuple(self._intern(op, cells) for op in formula.operands),
             )
         if isinstance(formula, Or):
             return _StoredNode(
-                "or", children=tuple(self._intern(op) for op in formula.operands)
+                "or",
+                children=tuple(self._intern(op, cells) for op in formula.operands),
             )
         if isinstance(formula, Implies):
             return _StoredNode(
                 "implies",
                 children=(
-                    self._intern(formula.antecedent),
-                    self._intern(formula.consequent),
+                    self._intern(formula.antecedent, cells),
+                    self._intern(formula.consequent, cells),
                 ),
             )
         if isinstance(formula, Iff):
             return _StoredNode(
                 "iff",
-                children=(self._intern(formula.left), self._intern(formula.right)),
+                children=(
+                    self._intern(formula.left, cells),
+                    self._intern(formula.right, cells),
+                ),
             )
         raise TheoryError(f"cannot store formula node {formula!r}")
 
@@ -337,6 +358,10 @@ class WffStore:
         for cell in cells:
             cell.current = new
             redirected += cell.occurrences
+            # The rename rewrote every owner wff in place: bump their
+            # versions so per-wff derived caches (Tseitin CNF) invalidate.
+            for wff in self._cell_owners.get(cell, ()):
+                wff.version += 1
         existing = self._cells.get(new)
         if existing is None:
             self._cells[new] = cells
@@ -352,14 +377,25 @@ class WffStore:
         except ValueError:
             raise TheoryError("wff is not in this store") from None
         self.version += 1
+        released: List[AtomCell] = []
         stack = [stored.root]
         while stack:
             node = stack.pop()
             if node.cell is not None:
+                released.append(node.cell)
                 node.cell.occurrences -= 1
                 if node.cell.occurrences == 0:
                     self._release_cell(node.cell)
             stack.extend(node.children)
+        for cell in set(released):
+            owners = self._cell_owners.get(cell)
+            if owners is not None:
+                try:
+                    owners.remove(stored)
+                except ValueError:
+                    pass
+                if not owners:
+                    del self._cell_owners[cell]
 
     def _release_cell(self, cell: AtomCell) -> None:
         cells = self._cells.get(cell.current)
@@ -378,6 +414,7 @@ class WffStore:
         self.version += 1
         self._wffs.clear()
         self._cells.clear()
+        self._cell_owners.clear()
         self._indexes.clear()
         self._pc_index = _SortedKeyList()
         self._insertion_log.clear()

@@ -39,7 +39,7 @@ from repro.errors import TheoryError
 from repro.logic.allsat import iter_projected_models
 from repro.logic.cnf import Clause, tseitin
 from repro.logic.parser import parse
-from repro.logic.sat import Solver
+from repro.logic.sat import Solver, SolverStats
 from repro.logic.syntax import Formula
 from repro.logic.terms import GroundAtom, Predicate, PredicateConstant
 from repro.theory.axioms import (
@@ -73,7 +73,16 @@ class ExtendedRelationalTheory:
         self._schema = schema if schema is not None else language.schema
         self._dependencies: Tuple[TemplateDependency, ...] = tuple(dependencies)
         self._store = WffStore()
-        self._clause_cache: Tuple[int, Optional[Tuple[Clause, ...]]] = (-1, None)
+        # Per-wff Tseitin cache: store_id -> (wff version, encoded clauses).
+        # An update re-encodes only the wffs GUA actually touched; untouched
+        # wffs hit the cache even though the store version moved on.
+        self._wff_clause_cache: Dict[int, Tuple[int, Tuple[Clause, ...]]] = {}
+        self._clause_cache_hits = 0
+        self._clause_cache_misses = 0
+        self._universe_cache: Tuple[int, Optional[FrozenSet[GroundAtom]]] = (-1, None)
+        #: Shared work counters for every solver this theory spins up
+        #: (consistency, world enumeration, and the query layer thread it).
+        self.sat_stats = SolverStats()
         for formula in formulas:
             self.add_formula(formula)
 
@@ -141,7 +150,12 @@ class ExtendedRelationalTheory:
 
     def atom_universe(self) -> FrozenSet[GroundAtom]:
         """Ground atoms represented in the (derived) completion axioms."""
-        return self._store.ground_atoms()
+        version, cached = self._universe_cache
+        if cached is not None and version == self._store.version:
+            return cached
+        universe = self._store.ground_atoms()
+        self._universe_cache = (self._store.version, universe)
+        return universe
 
     def predicate_atoms(self, predicate: Predicate) -> Tuple[GroundAtom, ...]:
         return self._store.predicate_atoms(predicate)
@@ -187,6 +201,26 @@ class ExtendedRelationalTheory:
             "dependencies": len(self._dependencies),
         }
 
+    def solver_statistics(self) -> Dict[str, int]:
+        """Work counters of the reasoning layer.
+
+        SAT counters (``sat_decisions``, ``sat_propagations``,
+        ``sat_conflicts``, ``sat_solve_calls``, ``sat_clauses_added``)
+        accumulate across every solver the theory's services created; the
+        ``tseitin_cache_*`` counters record per-wff clause-cache traffic in
+        :meth:`clauses`.  Counters are cumulative; see
+        :meth:`reset_solver_statistics`.
+        """
+        stats = self.sat_stats.as_dict()
+        stats["tseitin_cache_hits"] = self._clause_cache_hits
+        stats["tseitin_cache_misses"] = self._clause_cache_misses
+        return stats
+
+    def reset_solver_statistics(self) -> None:
+        self.sat_stats.reset()
+        self._clause_cache_hits = 0
+        self._clause_cache_misses = 0
+
     # -- reasoning ----------------------------------------------------------------------
 
     def clauses(self) -> List[Clause]:
@@ -197,25 +231,42 @@ class ExtendedRelationalTheory:
         away (e.g. ``T -> f | T``), yet being represented in the completion
         axioms it is *unconstrained*, not false — the solver must see it.
 
-        The encoding is cached against the store's version counter, so
-        query bursts between updates pay Tseitin once.  A fresh list is
-        returned each call (callers append their query clauses to it).
+        The encoding is cached **per stored wff**, keyed on the wff's
+        ``(store_id, version)`` identity: an update re-encodes only the
+        wffs GUA actually touched (added, or rewrote via a Step 2 rename),
+        not the whole non-axiomatic section.  Selector prefixes embed the
+        store id, so cached encodings from different wffs never collide.
+        A fresh list is returned each call (callers append their query
+        clauses to it).
         """
-        cached_version, cached = self._clause_cache
-        if cached is not None and cached_version == self._store.version:
-            return list(cached)
+        cache = self._wff_clause_cache
         result: List[Clause] = []
-        for i, formula in enumerate(self._store.formulas()):
-            encoded = tseitin(formula, prefix=f"@ts{i}_")
+        live: set = set()
+        for stored in self._store.wffs():
+            key = stored.store_id
+            live.add(key)
+            entry = cache.get(key)
+            if entry is not None and entry[0] == stored.version:
+                self._clause_cache_hits += 1
+                result.extend(entry[1])
+                continue
+            self._clause_cache_misses += 1
+            encoded = tseitin(stored.to_formula(), prefix=f"@ts{key}_")
+            cache[key] = (stored.version, encoded.clauses)
             result.extend(encoded.clauses)
-        for atom in self._store.ground_atoms():
+        # Drop entries for wffs that have left the store (removal,
+        # simplification's replace_all) once they outnumber the live ones.
+        if len(cache) > 2 * len(live) + 16:
+            for key in [k for k in cache if k not in live]:
+                del cache[key]
+        for atom in self.atom_universe():
             result.append(frozenset(((atom, True), (atom, False))))
-        self._clause_cache = (self._store.version, tuple(result))
         return result
 
     def is_consistent(self) -> bool:
         """Does the theory have at least one model?"""
-        return Solver(self.clauses()).solve(use_pure_literals=True) is not None
+        solver = Solver(self.clauses(), stats=self.sat_stats)
+        return solver.solve(use_pure_literals=True) is not None
 
     def alternative_worlds(
         self, *, limit: Optional[int] = None
@@ -224,7 +275,7 @@ class ExtendedRelationalTheory:
         of models onto the ground-atom universe)."""
         universe = self.atom_universe()
         for projection in iter_projected_models(
-            self.clauses(), universe, limit=limit
+            self.clauses(), universe, limit=limit, stats=self.sat_stats
         ):
             yield AlternativeWorld(
                 atom for atom in universe if projection.get(atom, False)
