@@ -6,16 +6,18 @@ incomplete information can stand for exponentially many worlds.  Measured:
 per-update cost of GUA (flat) vs the naive store (linear in the world
 count, which grows 3^k under branching inserts), and where the crossover
 falls.
+
+Both engines run through the same :class:`~repro.core.engine.Database`
+entry point (``backend="gua"`` vs ``backend="naive"``), so the comparison
+includes identical pipeline overhead and the per-stage split is available
+from the tracer.
 """
 
 import time
 
 from repro.bench.report import print_table
 from repro.bench.workload import branching_stream
-from repro.core.gua import GuaExecutor
-from repro.core.naive import NaiveWorldStore
-from repro.theory.theory import ExtendedRelationalTheory
-from repro.theory.worlds import AlternativeWorld
+from repro.core.engine import Database
 
 K_SWEEP = [1, 2, 3, 4, 5, 6, 7]
 
@@ -23,18 +25,17 @@ K_SWEEP = [1, 2, 3, 4, 5, 6, 7]
 def test_per_update_cost_vs_world_count(benchmark):
     def run():
         rows = []
-        gua_theory = ExtendedRelationalTheory()
-        executor = GuaExecutor(gua_theory)
-        naive = NaiveWorldStore([AlternativeWorld()])
+        gua = Database(backend="gua")
+        naive = Database(backend="naive")
         stream = branching_stream(max(K_SWEEP))
         crossover = None
         for k, update in enumerate(stream, start=1):
             start = time.perf_counter()
-            executor.apply(update)
+            gua.update(update)
             gua_seconds = time.perf_counter() - start
 
             start = time.perf_counter()
-            naive.apply(update)
+            naive.update(update)
             naive_seconds = time.perf_counter() - start
 
             worlds = naive.world_count()
@@ -46,7 +47,7 @@ def test_per_update_cost_vs_world_count(benchmark):
 
     rows, crossover, final_worlds = benchmark.pedantic(run, rounds=1, iterations=1)
     print_table(
-        "E10: per-update seconds, GUA vs naive store (branching inserts)",
+        "E10: per-update seconds, GUA vs naive backend (branching inserts)",
         ["k (updates)", "worlds (3^k)", "GUA s/update", "naive s/update"],
         rows,
         note=(
@@ -68,24 +69,21 @@ def test_per_update_cost_vs_world_count(benchmark):
 
 def test_query_cost_comparison(benchmark):
     """After the branching stream, a certain-answer query: SAT on the GUA
-    theory vs scanning the naive store's worlds."""
-    gua_theory = ExtendedRelationalTheory()
-    executor = GuaExecutor(gua_theory)
-    naive = NaiveWorldStore([AlternativeWorld()])
+    theory vs scanning the naive backend's worlds."""
+    gua = Database(backend="gua")
+    naive = Database(backend="naive")
     for update in branching_stream(6):
-        executor.apply(update)
-        naive.apply(update)
-
-    from repro.query.answers import is_certain
+        gua.update(update)
+        naive.update(update)
 
     query = "Ch(l0) | Ch(r0)"
 
     start = time.perf_counter()
-    gua_answer = is_certain(gua_theory, query)
+    gua_answer = gua.is_certain(query)
     gua_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    naive_answer = naive.certain(query)
+    naive_answer = naive.is_certain(query)
     naive_seconds = time.perf_counter() - start
 
     assert gua_answer == naive_answer is True
@@ -97,4 +95,4 @@ def test_query_cost_comparison(benchmark):
             ["naive world scan", naive_seconds, "certain"],
         ],
     )
-    benchmark(lambda: is_certain(gua_theory, query))
+    benchmark(lambda: gua.is_certain(query))

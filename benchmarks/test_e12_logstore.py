@@ -5,11 +5,13 @@ that makes the LDML algorithms more attractive than simply keeping a record
 of past updates and recomputing the state of the theory on each new query."
 
 Measured: total time for workloads mixing k updates with q interleaved
-queries, on three backends —
+queries, on three configurations of the same
+:class:`~repro.core.engine.Database` entry point —
 
-* **gua**        incremental GUA, no simplification;
-* **gua+simp**   incremental GUA with periodic Section 4 simplification;
-* **log**        O(1) appends, full replay memoized per query burst.
+* ``backend="gua"``                 incremental GUA, no simplification;
+* ``backend="gua", simplify_every`` GUA with periodic Section 4 simplification;
+* ``backend="log"``                 O(1) appends, full replay memoized per
+                                    query burst.
 
 The paper's predicted shape: the log store is fine while queries are rare,
 and loses increasingly as the query/update ratio grows, while the
@@ -20,7 +22,6 @@ import time
 
 from repro.bench.report import print_table
 from repro.core.engine import Database
-from repro.core.logstore import LogStructuredStore
 
 UPDATES = 20
 
@@ -41,8 +42,8 @@ def _query(i):
     return f"P(a{(i // 3) * 3}) | P(c{(i // 3) * 3 + 1})"
 
 
-def _run_database(queries_every, simplify_every=None):
-    db = Database(simplify_every=simplify_every)
+def _run(backend, queries_every, simplify_every=None):
+    db = Database(backend=backend, simplify_every=simplify_every)
     start = time.perf_counter()
     for i, update in enumerate(_stream()):
         db.update(update)
@@ -51,24 +52,14 @@ def _run_database(queries_every, simplify_every=None):
     return time.perf_counter() - start
 
 
-def _run_logstore(queries_every):
-    store = LogStructuredStore()
-    start = time.perf_counter()
-    for i, update in enumerate(_stream()):
-        store.apply(update)
-        if queries_every and (i + 1) % queries_every == 0:
-            store.ask(_query(i))
-    return time.perf_counter() - start
-
-
 def test_update_query_mix(benchmark):
     mixes = [(0, "updates only"), (10, "query every 10"),
              (4, "query every 4"), (1, "query every update")]
     rows = []
     for queries_every, label in mixes:
-        gua_seconds = _run_database(queries_every)
-        simp_seconds = _run_database(queries_every, simplify_every=4)
-        log_seconds = _run_logstore(queries_every)
+        gua_seconds = _run("gua", queries_every)
+        simp_seconds = _run("gua", queries_every, simplify_every=4)
+        log_seconds = _run("log", queries_every)
         rows.append([label, gua_seconds, simp_seconds, log_seconds])
     print_table(
         "E12: total seconds for 20 updates + interleaved queries",
@@ -83,35 +74,34 @@ def test_update_query_mix(benchmark):
     assert rows[3][3] > rows[3][1]
     assert rows[3][3] > rows[3][2]
 
-    benchmark(lambda: _run_database(4, simplify_every=4))
+    benchmark(lambda: _run("gua", 4, simplify_every=4))
 
 
 def test_backends_agree(benchmark):
-    """Fairness check: all three backends answer identically."""
+    """Fairness check: all three backends answer identically through the
+    same Database entry point."""
 
     def run():
-        db = Database()
-        simp = Database(simplify_every=3)
-        log = LogStructuredStore()
+        databases = [
+            Database(backend="gua"),
+            Database(backend="gua", simplify_every=3),
+            Database(backend="log"),
+            Database(backend="naive"),
+        ]
         for update in _stream():
-            db.update(update)
-            simp.update(update)
-            log.apply(update)
+            for db in databases:
+                db.update(update)
         answers = []
         for i in range(0, UPDATES, 5):
             query = _query(i)
-            a, b, c = (
-                db.ask(query).status,
-                simp.ask(query).status,
-                log.ask(query).status,
-            )
-            assert a == b == c, (query, a, b, c)
-            answers.append(a)
+            statuses = [db.ask(query).status for db in databases]
+            assert len(set(statuses)) == 1, (query, statuses)
+            answers.append(statuses[0])
         return answers
 
     answers = benchmark.pedantic(run, rounds=1, iterations=1)
     print_table(
-        "E12b: backend agreement",
+        "E12b: backend agreement (gua / gua+simplify / log / naive)",
         ["queries checked", "all agree"],
         [[len(answers), "yes"]],
     )
@@ -119,18 +109,18 @@ def test_backends_agree(benchmark):
 
 def test_compaction_restores_log_store(benchmark):
     """Checkpointing (compact) brings replay cost back down."""
-    store = LogStructuredStore()
-    store.run_script(_stream())
+    db = Database(backend="log")
+    db.run_script(";".join(_stream()))
 
     start = time.perf_counter()
-    store.ask("P(a0)")
+    db.ask("P(a0)")
     first_query = time.perf_counter() - start
 
-    store.compact()
-    store.apply("INSERT P(z) WHERE T")
+    db.compact()
+    db.update("INSERT P(z) WHERE T")
 
     start = time.perf_counter()
-    store.ask("P(a0)")
+    db.ask("P(a0)")
     after_compact = time.perf_counter() - start
 
     print_table(
@@ -142,4 +132,4 @@ def test_compaction_restores_log_store(benchmark):
         ],
     )
     assert after_compact < first_query
-    benchmark(lambda: store.ask("P(a0)"))
+    benchmark(lambda: db.ask("P(a0)"))

@@ -10,9 +10,10 @@ The library implements the paper's full stack from scratch:
   ASSERT) with its model-theoretic semantics and the Theorem 2-4 update
   equivalence deciders;
 * **algorithm GUA** (:mod:`repro.core`) — the ground update algorithm,
-  Steps 1-7, plus the naive materialized-worlds baseline, the Section 4
-  simplifier, transactions, and the :class:`~repro.core.engine.Database`
-  façade;
+  Steps 1-7, wrapped in a staged update pipeline with pluggable backends
+  (live GUA theory / log-structured strawman / naive materialized worlds),
+  the Section 4 simplifier, transactions, and the
+  :class:`~repro.core.engine.Database` façade;
 * **query answering** (:mod:`repro.query`) — certain/possible answers;
 * a dependency-free ground-logic substrate (:mod:`repro.logic`): formulas,
   parser, DPLL SAT, model enumeration with projection, normal forms.
@@ -88,7 +89,11 @@ from repro.core import (
     Database,
     GuaExecutor,
     GuaResult,
+    LogStructuredStore,
     NaiveWorldStore,
+    PipelineTracer,
+    UpdateBackend,
+    UpdatePipeline,
     commutes,
     gua_run_script,
     gua_update,
@@ -155,7 +160,11 @@ __all__ = [
     "Database",
     "GuaExecutor",
     "GuaResult",
+    "LogStructuredStore",
     "NaiveWorldStore",
+    "PipelineTracer",
+    "UpdateBackend",
+    "UpdatePipeline",
     "commutes",
     "gua_run_script",
     "gua_update",

@@ -1,0 +1,98 @@
+"""Per-stage pipeline timings across backends, as a JSON artifact.
+
+Runs the E10/E12-style smoke workloads through the unified
+:class:`~repro.core.engine.Database` entry point on every backend and dumps
+the :class:`~repro.core.pipeline.PipelineTracer` counters — stage calls and
+cumulative wall seconds for parse/normalize/tag/execute/journal/maintain —
+plus total wall time, per backend.  CI uploads the result
+(``BENCH_pipeline.json``) as an artifact so stage-cost drift is visible
+across commits.
+
+Usage::
+
+    python -m repro.bench.pipeline_bench [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.bench.measure import pipeline_stage_rows
+from repro.bench.report import print_table
+from repro.bench.workload import branching_stream
+from repro.core.engine import Database
+
+#: (backend, Database kwargs) configurations measured.
+CONFIGS = [
+    ("gua", {}),
+    ("gua+simplify", {"backend": "gua", "simplify_every": 4}),
+    ("log", {"backend": "log"}),
+    ("naive", {"backend": "naive"}),
+]
+
+
+def _mixed_stream(n: int = 12) -> List[str]:
+    """E12's shape: branching inserts, conditional inserts, deletes."""
+    updates = []
+    for i in range(n):
+        if i % 3 == 0:
+            updates.append(f"INSERT P(a{i}) | P(b{i}) WHERE T")
+        elif i % 3 == 1:
+            updates.append(f"INSERT P(c{i}) WHERE P(a{i-1})")
+        else:
+            updates.append(f"DELETE P(b{i-2}) WHERE T")
+    return updates
+
+
+def run_config(label: str, kwargs: Dict) -> Dict:
+    """One backend over the smoke workload; returns its stage profile."""
+    db = Database(**kwargs)
+    start = time.perf_counter()
+    for update in _mixed_stream():
+        db.update(update)
+    for update in branching_stream(4):
+        db.update(update)
+    db.update("INSERT P(?x) WHERE P(?x)")  # one open update
+    db.ask("P(a0) | P(c1)")
+    total = time.perf_counter() - start
+
+    stats = db.statistics()
+    return {
+        "label": label,
+        "backend": db.backend.name,
+        "total_seconds": total,
+        "updates": stats.get("updates_applied", 0),
+        "stages": {
+            stage: {"calls": calls, "seconds": seconds}
+            for stage, calls, seconds in pipeline_stage_rows(stats)
+        },
+    }
+
+
+def main(argv: List[str]) -> int:
+    output = argv[0] if argv else "BENCH_pipeline.json"
+    results = [run_config(label, kwargs) for label, kwargs in CONFIGS]
+
+    for result in results:
+        print_table(
+            f"pipeline stages — {result['label']} "
+            f"({result['updates']} updates, {result['total_seconds']:.4f}s)",
+            ["stage", "calls", "seconds"],
+            [
+                [stage, data["calls"], data["seconds"]]
+                for stage, data in result["stages"].items()
+            ],
+        )
+
+    with open(output, "w") as handle:
+        json.dump({"format": "repro-bench-pipeline-v1", "runs": results},
+                  handle, indent=2)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

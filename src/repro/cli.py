@@ -13,6 +13,7 @@ Interactive commands (anything else is parsed as an LDML statement):
     .worlds [n]       list (up to n) alternative worlds
     .theory           print the theory with its derived axioms
     .stats            engine statistics (theory sizes, SAT counters, caches)
+    .trace            per-stage pipeline timings (last update + totals)
     .simplify         run the Section 4 simplifier
     .savepoint <name> / .rollback <name>
     .save <file> / .load <file>
@@ -80,7 +81,10 @@ def handle_command(db: Database, line: str, out=None) -> Optional[Database]:
             print(f"  {bound}  --  {row.status}", file=out)
     elif command == ".worlds":
         limit = int(argument) if argument else 20
-        worlds = list(db.theory.alternative_worlds(limit=limit))
+        try:
+            worlds = list(db.theory.alternative_worlds(limit=limit))
+        except ReproError:  # theory-less backend: materialized worlds
+            worlds = list(db.worlds())[:limit]
         for world in sorted(worlds, key=repr):
             print(f"  {world}", file=out)
         if len(worlds) == limit:
@@ -90,6 +94,32 @@ def handle_command(db: Database, line: str, out=None) -> Optional[Database]:
     elif command == ".stats":
         for key, value in db.statistics().items():
             print(f"  {key}: {value}", file=out)
+    elif command == ".trace":
+        trace = db.last_trace()
+        if trace is None:
+            print("no updates traced yet", file=out)
+        else:
+            print(
+                f"update #{trace.sequence} ({trace.kind}) via "
+                f"{trace.backend}: {trace.total_seconds * 1e3:.3f} ms",
+                file=out,
+            )
+            for event in trace.events:
+                detail = ", ".join(
+                    f"{k}={v}" for k, v in event.detail.items()
+                )
+                print(
+                    f"  {event.stage:<9} {event.seconds * 1e3:9.3f} ms"
+                    + (f"  ({detail})" if detail else ""),
+                    file=out,
+                )
+        totals = db.tracer.stage_totals()
+        print("cumulative:", file=out)
+        for stage, (calls, seconds) in totals.items():
+            print(
+                f"  {stage:<9} {calls:6d} calls {seconds * 1e3:10.3f} ms",
+                file=out,
+            )
     elif command == ".simplify":
         report = db.simplify()
         print(
@@ -146,9 +176,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("script", nargs="?", help="LDML script file to run")
     parser.add_argument("--load", help="resume a saved database (JSON)")
     parser.add_argument("--save", help="save the database on exit (JSON)")
+    parser.add_argument(
+        "--backend",
+        choices=["gua", "log", "naive"],
+        default="gua",
+        help="update-execution backend (default: gua)",
+    )
     args = parser.parse_args(argv)
 
-    db = load_database(args.load) if args.load else Database()
+    db = (
+        load_database(args.load)
+        if args.load
+        else Database(backend=args.backend)
+    )
 
     status = 0
     if args.script:

@@ -9,6 +9,19 @@ from repro.core.simplification import (
 )
 from repro.core.transaction import LogEntry, Savepoint, TransactionManager, UpdateLog
 from repro.core.logstore import LogStructuredStore
+from repro.core.pipeline import (
+    BackendResult,
+    GuaBackend,
+    LogBackend,
+    NaiveBackend,
+    NormalizedUpdate,
+    PipelineTracer,
+    StageEvent,
+    UpdateBackend,
+    UpdatePipeline,
+    UpdateTrace,
+    make_backend,
+)
 from repro.core.engine import Database
 
 __all__ = [
@@ -27,5 +40,16 @@ __all__ = [
     "TransactionManager",
     "UpdateLog",
     "LogStructuredStore",
+    "BackendResult",
+    "GuaBackend",
+    "LogBackend",
+    "NaiveBackend",
+    "NormalizedUpdate",
+    "PipelineTracer",
+    "StageEvent",
+    "UpdateBackend",
+    "UpdatePipeline",
+    "UpdateTrace",
+    "make_backend",
     "Database",
 ]

@@ -1,15 +1,24 @@
 """The user-facing database façade.
 
-:class:`Database` wires the whole stack together: an extended relational
-theory updated by GUA, an update journal, optional periodic simplification,
-the query layer, and the SQL-ish front end.  This is the object a downstream
-user of the library holds::
+:class:`Database` is now a thin shell over the staged update pipeline
+(:mod:`repro.core.pipeline`): every statement — ground, open, SQL-ish —
+runs through parse → normalize → tag → execute → journal → maintain, and
+the execution strategy is a pluggable backend::
 
     db = Database(schema=schema_from_dict({"Orders": [...]}), auto_tag=True)
     db.update("INSERT Orders(700,32,9) | Orders(700,33,9) WHERE T")
     db.ask("Orders(700,32,9)")          # -> possible
     db.update("ASSERT Orders(700,32,9)")
     db.ask("Orders(700,32,9)")          # -> certain
+
+    Database(backend="gua")    # algorithm GUA on a live theory (default)
+    Database(backend="log")    # Section 4 strawman: append, replay on read
+    Database(backend="naive")  # Section 3.2: explicit alternative worlds
+
+All backends answer queries through the same ``ask``/``worlds`` surface, so
+benchmarks (E10, E12) compare them through one entry point; per-stage wall
+times and counters are available from :meth:`statistics` and
+:meth:`last_trace`.
 """
 
 from __future__ import annotations
@@ -17,23 +26,39 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.gua import GuaExecutor, GuaResult
-from repro.core.simplification import AutoSimplifier, SimplificationReport, simplify_theory
+from repro.core.pipeline import (
+    BackendResult,
+    PipelineTracer,
+    UpdateBackend,
+    UpdatePipeline,
+    UpdateTrace,
+    make_backend,
+)
+from repro.core.simplification import (
+    AutoSimplifier,
+    SimplificationReport,
+    simplify_theory,
+)
 from repro.core.transaction import TransactionManager
-from repro.errors import InconsistentTheoryError
-from repro.ldml.ast import GroundUpdate, Insert
-from repro.ldml.parser import parse_script, parse_update
-from repro.ldml.sql import translate_sql
+from repro.errors import InconsistentTheoryError, UpdateError
+from repro.ldml.ast import GroundUpdate
+from repro.ldml.parser import parse_script
 from repro.logic.syntax import Formula
-from repro.query.answers import Answer, ask as ask_theory
+from repro.query.answers import Answer
 from repro.query.select import SelectedRow, select as select_theory
 from repro.theory.dependencies import TemplateDependency
 from repro.theory.schema import DatabaseSchema
 from repro.theory.theory import ExtendedRelationalTheory
 from repro.theory.worlds import AlternativeWorld
 
+#: What an update call returns: the GUA result on the gua backend, the
+#: uniform :class:`BackendResult` elsewhere.  Both expose ``.update`` and
+#: ``.stats``.
+UpdateResult = Union[GuaResult, BackendResult]
+
 
 class Database:
-    """An incomplete-information database under LDML updates via GUA."""
+    """An incomplete-information database under LDML updates."""
 
     def __init__(
         self,
@@ -44,6 +69,8 @@ class Database:
         auto_tag: bool = True,
         simplify_every: Optional[int] = None,
         entailment_mode: str = "conjunct",
+        backend: str = "gua",
+        trace_history: int = 64,
     ):
         """Args:
             schema: optional database schema (enables type axioms and the
@@ -54,108 +81,115 @@ class Database:
                 INSERT/MODIFY bodies (conjoin attribute atoms) so type
                 axioms never silently drop freshly inserted worlds.
             simplify_every: run the Section 4 simplifier every N updates
-                (None = only on explicit :meth:`simplify` calls).
-            entailment_mode: Step 5 test — "conjunct" (paper's optimized
-                form) or "full".
+                (gua: in place after updates; log: during replay; naive:
+                ignored — explicit worlds have no syntactic growth).
+            entailment_mode: GUA Step 5 test — "conjunct" (paper's optimized
+                form) or "full".  Only meaningful for the gua backend.
+            backend: execution strategy — ``"gua"`` (live theory, default),
+                ``"log"`` (log-structured strawman), or ``"naive"``
+                (explicit world set).
+            trace_history: per-update pipeline traces kept for
+                :meth:`last_trace` / the CLI ``.trace`` command.
         """
-        self.theory = ExtendedRelationalTheory(
+        base = ExtendedRelationalTheory(
             schema=schema, dependencies=dependencies, formulas=facts
         )
         self.auto_tag = auto_tag and schema is not None
-        self._executor = GuaExecutor(
-            self.theory, entailment_mode=entailment_mode
+        # The transaction manager copies the base before the backend can
+        # mutate it, so replay always starts from the true initial state.
+        self.transactions = TransactionManager(base)
+        self.backend: UpdateBackend = make_backend(
+            backend,
+            base,
+            entailment_mode=entailment_mode,
+            simplify_every=simplify_every,
         )
-        self.transactions = TransactionManager(self.theory)
+        self.tracer = PipelineTracer(keep_last=trace_history)
         self._simplifier = (
-            AutoSimplifier(simplify_every) if simplify_every else None
+            AutoSimplifier(simplify_every)
+            if simplify_every and self.backend.supports("simplify")
+            else None
+        )
+        self.pipeline = UpdatePipeline(
+            self.backend,
+            self.transactions.log,
+            self.tracer,
+            schema=schema,
+            auto_tag=self.auto_tag,
+            simplifier=self._simplifier,
         )
         # Per-savepoint simplifier state (update-counter phase, report
         # count) so rollback restores the whole engine, not just the theory.
         self._simplifier_marks: Dict[str, Tuple[int, int]] = {}
 
+    # -- backend views -----------------------------------------------------------
+
+    @property
+    def theory(self) -> ExtendedRelationalTheory:
+        """The backend's theory — live for gua, materialized (replayed) for
+        log; the naive backend has none and raises
+        :class:`~repro.errors.TheoryError`."""
+        return self.backend.theory
+
+    @property
+    def _executor(self) -> GuaExecutor:
+        """The gua backend's executor (kept for tests/power users that drive
+        GUA directly, bypassing the pipeline and journal)."""
+        executor = getattr(self.backend, "executor", None)
+        if executor is None:
+            raise UpdateError(
+                f"the {self.backend.name!r} backend has no GUA executor"
+            )
+        return executor
+
     # -- updates ---------------------------------------------------------------
 
-    def update(self, statement: Union[GroundUpdate, str]) -> GuaResult:
-        """Apply one LDML update through GUA.
+    def update(self, statement: Union[GroundUpdate, str]) -> UpdateResult:
+        """Apply one LDML update through the staged pipeline.
 
         Statements containing ``?var`` variables — either strings or
         :class:`~repro.ldml.open_updates.OpenUpdate` objects — are open
-        updates: they are grounded over the theory's atom universe and
-        executed as one simultaneous set of ground updates (Section 4's
-        reduction).
+        updates: the normalize stage grounds them over the backend's atom
+        universe into one simultaneous set (Section 4's reduction).
         """
-        from repro.ldml.open_updates import OpenUpdate
+        return self.pipeline.submit(statement)
 
-        if isinstance(statement, str):
-            if "?" in statement:
-                return self.update_open(statement)
-            update = parse_update(statement)
-        elif isinstance(statement, OpenUpdate):
-            # An OpenUpdate is not a GroundUpdate: it has no .to_insert()
-            # and must go through the grounding path, ground or not.
-            return self.update_open(statement)
-        else:
-            update = statement
-        update = self._tagged(update)
-        result = self._executor.apply(update)
-        self.transactions.log.record(result.update, self.theory.size())
-        if self._simplifier is not None:
-            self._simplifier.after_update(self.theory)
-        return result
-
-    def update_open(self, statement: Union["OpenUpdate", str], domains=None) -> GuaResult:
+    def update_open(
+        self, statement, domains=None
+    ) -> UpdateResult:
         """Apply an LDML update with variables (see
         :mod:`repro.ldml.open_updates`)."""
         from repro.ldml.open_updates import OpenUpdate, parse_open_update
-        from repro.ldml.simultaneous import SimultaneousInsert
 
         open_update = (
             parse_open_update(statement)
             if isinstance(statement, str)
             else statement
         )
-        simultaneous = open_update.expand(self.theory, domains)
-        if self.auto_tag:
-            simultaneous = SimultaneousInsert(
-                [
-                    (where, self.theory.schema.tag_with_attributes(body))
-                    for where, body in simultaneous.pairs
-                ]
+        if not isinstance(open_update, OpenUpdate):
+            raise UpdateError(
+                f"update_open expects an open update, got {statement!r}"
             )
-        result = self._executor.apply_simultaneous(simultaneous)
-        # Journal the simultaneous set itself: replaying the synthetic joint
-        # INSERT stored in result.update would conjoin all bodies
-        # unconditionally — different semantics.
-        self.transactions.log.record(simultaneous, self.theory.size())
-        if self._simplifier is not None:
-            self._simplifier.after_update(self.theory)
-        return result
+        return self.pipeline.submit(open_update, domains=domains)
 
-    def run_script(self, script: str) -> List[GuaResult]:
-        """Apply a ';'-separated LDML script."""
-        return [self.update(u) for u in parse_script(script)]
+    def run_script(self, script: str) -> List[UpdateResult]:
+        """Apply a ';'-separated LDML script (ground and open statements)."""
+        return [self.pipeline.submit(u) for u in parse_script(script)]
 
-    def sql(self, statement: str) -> GuaResult:
+    def sql(self, statement: str) -> UpdateResult:
         """Apply one SQL-ish statement (see :mod:`repro.ldml.sql`)."""
-        return self.update(translate_sql(statement, self.theory.schema))
+        return self.pipeline.submit(statement, source="sql")
 
     def _tagged(self, update: GroundUpdate) -> GroundUpdate:
-        """The Section 3.5 attribute-tagging layer."""
-        if not self.auto_tag:
-            return update
-        insert = update.to_insert()
-        schema = self.theory.schema
-        assert schema is not None
-        tagged_body = schema.tag_with_attributes(insert.body)
-        if tagged_body is insert.body:
-            return insert
-        return Insert(tagged_body, insert.where)
+        """The Section 3.5 attribute-tagging layer (the pipeline's tag
+        stage), exposed for callers that drive GUA directly."""
+        return self.pipeline.tag_ground(update)
 
     # -- queries ---------------------------------------------------------------
 
     def ask(self, query: Union[Formula, str]) -> Answer:
         """Three-valued answer: certain / possible / impossible."""
-        return ask_theory(self.theory, query)
+        return self.backend.ask(query)
 
     def is_certain(self, query: Union[Formula, str]) -> bool:
         return self.ask(query).certain
@@ -193,14 +227,14 @@ class Database:
     def worlds(self) -> List[AlternativeWorld]:
         """Materialize the world set (exponential in the incompleteness)."""
         return sorted(
-            self.theory.alternative_worlds(), key=lambda w: sorted(map(str, w))
+            self.backend.world_set(), key=lambda w: sorted(map(str, w))
         )
 
     def world_count(self, cap: Optional[int] = None) -> int:
-        return self.theory.world_count(cap=cap)
+        return self.backend.world_count(cap=cap)
 
     def is_consistent(self) -> bool:
-        return self.theory.is_consistent()
+        return self.backend.is_consistent()
 
     def check_consistent(self) -> None:
         if not self.is_consistent():
@@ -212,32 +246,66 @@ class Database:
     # -- maintenance ---------------------------------------------------------------
 
     def simplify(self, **options) -> SimplificationReport:
-        """Run the Section 4 simplifier now."""
+        """Run the Section 4 simplifier now (gua backend only — the log
+        backend checkpoints with :meth:`compact` instead)."""
+        if not self.backend.supports("simplify"):
+            raise UpdateError(
+                f"the {self.backend.name!r} backend has no in-place theory "
+                "to simplify"
+                + (
+                    "; use compact() to checkpoint the log"
+                    if self.backend.supports("compact")
+                    else ""
+                )
+            )
         return simplify_theory(self.theory, **options)
 
-    def statistics(self) -> Dict[str, int]:
-        """Engine-wide health metrics: theory sizes (see
-        :meth:`ExtendedRelationalTheory.statistics`), solver work counters
-        (``sat_*``), per-wff clause-cache traffic (``tseitin_cache_*``),
-        and ``updates_applied``."""
-        stats = dict(self.theory.statistics())
-        stats.update(self.theory.solver_statistics())
+    def compact(self) -> None:
+        """Checkpoint a log backend: fold the pending log into the base."""
+        if not self.backend.supports("compact"):
+            raise UpdateError(
+                f"the {self.backend.name!r} backend does not keep a "
+                "compactable log"
+            )
+        self.backend.compact()
+
+    def statistics(self) -> Dict[str, float]:
+        """Engine-wide health metrics: the backend's counters (theory sizes
+        and ``sat_*``/``tseitin_cache_*`` for gua, ``log_*`` for the log
+        store, world counts for naive), ``updates_applied``, and the
+        pipeline tracer's per-stage ``pipeline_<stage>_calls`` /
+        ``pipeline_<stage>_seconds``."""
+        stats: Dict[str, float] = dict(self.backend.statistics())
         stats["updates_applied"] = len(self.transactions.log)
+        stats.update(self.tracer.statistics())
         return stats
 
+    def last_trace(self) -> Optional[UpdateTrace]:
+        """The stage-by-stage trace of the most recent pipeline update."""
+        return self.tracer.last()
+
+    # -- transactions ---------------------------------------------------------------
+
     def savepoint(self, name: str) -> None:
+        if not self.backend.supports("savepoints"):
+            raise UpdateError(
+                f"the {self.backend.name!r} backend does not support "
+                "savepoints"
+            )
         self.transactions.savepoint(name, self.theory)
         if self._simplifier is not None:
             self._simplifier_marks[name] = self._simplifier.mark()
 
     def rollback(self, name: str) -> None:
-        restored = self.transactions.rollback(name)
-        # Swap theory contents in place so executor/log keep working.
-        self.theory.replace_formulas(restored.formulas())
-        # Axiom instances added after the savepoint are gone from the
-        # section; drop the dedup registry so they can be re-added.
-        if hasattr(self.theory, "_axiom_instances"):
-            delattr(self.theory, "_axiom_instances")
+        if not self.backend.supports("savepoints"):
+            raise UpdateError(
+                f"the {self.backend.name!r} backend does not support "
+                "savepoints"
+            )
+        snapshot = self.transactions.rollback(name)
+        # Restore in place so the executor and journal keep working against
+        # the same theory object.
+        self.theory.restore(snapshot)
         # Re-sync the auto-simplifier with the restored timeline: its
         # update counter and report list must match the savepoint, or the
         # next update would simplify too early/late (or report phantom
@@ -252,11 +320,12 @@ class Database:
             }
 
     def size(self) -> int:
-        """Nodes in the stored non-axiomatic section."""
-        return self.theory.size()
+        """The backend's growth measure (stored nodes for gua, pending log
+        length for log, world count for naive)."""
+        return self.backend.size()
 
     def __repr__(self) -> str:
         return (
-            f"Database({len(self.theory.stored_wffs())} wffs, "
+            f"Database(backend={self.backend.name!r}, size={self.size()}, "
             f"{len(self.transactions.log)} updates applied)"
         )

@@ -538,14 +538,9 @@ class GuaExecutor:
         store = self.theory.store
         touched = insert.body.ground_atoms()
         if isinstance(dependency, FunctionalDependency):
-            indexes = getattr(self.theory, "_fd_key_indexes", None)
-            if indexes is None:
-                indexes = {}
-                setattr(self.theory, "_fd_key_indexes", indexes)
-            key_index = indexes.get(id(dependency))
-            if key_index is None:
-                key_index = FdKeyIndex(dependency)
-                indexes[id(dependency)] = key_index
+            key_index = self.theory.fd_key_index(
+                dependency, lambda: FdKeyIndex(dependency)
+            )
             return dependency.incremental_instances(store, touched, key_index)
         return dependency.instantiations(
             (),  # universe unused when atoms_by_predicate is given
@@ -557,18 +552,10 @@ class GuaExecutor:
     def _register_axiom_instance(self, instance: Formula) -> bool:
         """Deduplicate axiom instances across updates (True = first time).
 
-        The registry lives on the theory; renames can make entries
-        syntactically stale, in which case the worst case is re-adding a
-        logically redundant wff — harmless (and counted by the benches).
+        The registry is first-class theory state (captured by
+        :meth:`ExtendedRelationalTheory.snapshot` and rewound by rollback).
         """
-        registry = getattr(self.theory, "_axiom_instances", None)
-        if registry is None:
-            registry = set()
-            setattr(self.theory, "_axiom_instances", registry)
-        if instance in registry:
-            return False
-        registry.add(instance)
-        return True
+        return self.theory.register_axiom_instance(instance)
 
     # -- Step 7 ----------------------------------------------------------------------------
 

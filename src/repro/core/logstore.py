@@ -21,15 +21,19 @@ queries, loses as soon as queries are frequent — is asserted there.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.gua import GuaExecutor
 from repro.core.simplification import simplify_theory
 from repro.ldml.ast import GroundUpdate
 from repro.ldml.parser import parse_update
+from repro.ldml.simultaneous import SimultaneousInsert
 from repro.logic.syntax import Formula
 from repro.query.answers import Answer, ask
 from repro.theory.theory import ExtendedRelationalTheory
+
+#: What the log may hold: ground updates or normalized simultaneous sets.
+LoggedUpdate = Union[GroundUpdate, SimultaneousInsert]
 
 
 class LogStructuredStore:
@@ -42,15 +46,19 @@ class LogStructuredStore:
         simplify_every: Optional[int] = None,
     ):
         self._base = (base or ExtendedRelationalTheory()).copy()
-        self._log: List[GroundUpdate] = []
+        self._log: List[LoggedUpdate] = []
         self._simplify_every = simplify_every
         self._materialized: Optional[ExtendedRelationalTheory] = None
         self.replays = 0  #: how many times the log has been replayed
 
     # -- writes: O(1) ---------------------------------------------------------
 
-    def apply(self, update: Union[GroundUpdate, str]) -> "LogStructuredStore":
-        """Append to the log; invalidates the memoized state."""
+    def apply(self, update: Union[LoggedUpdate, str]) -> "LogStructuredStore":
+        """Append to the log; invalidates the memoized state.
+
+        Accepts ground updates and :class:`SimultaneousInsert` sets alike —
+        replay dispatches through the same GUA executor as live execution.
+        """
         if isinstance(update, str):
             update = parse_update(update)
         self._log.append(update)
@@ -58,7 +66,7 @@ class LogStructuredStore:
         return self
 
     def run_script(
-        self, updates: Sequence[Union[GroundUpdate, str]]
+        self, updates: Sequence[Union[LoggedUpdate, str]]
     ) -> "LogStructuredStore":
         for update in updates:
             self.apply(update)
@@ -109,6 +117,18 @@ class LogStructuredStore:
         simplify_theory(self._base)
         self._log.clear()
         self._materialized = None
+
+    def pending(self) -> int:
+        """Log entries appended since the last compaction."""
+        return len(self._log)
+
+    def statistics(self) -> Dict[str, int]:
+        """Store-level counters (cheap: never forces a replay)."""
+        return {
+            "log_pending": len(self._log),
+            "log_replays": self.replays,
+            "log_materialized": int(self._materialized is not None),
+        }
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,622 @@
+"""The unified update-execution pipeline.
+
+Every LDML statement — INSERT/DELETE/MODIFY/ASSERT, ground or open, LDML
+text, AST object, or SQL-ish front-end input — executes through one staged
+path:
+
+    parse -> normalize -> tag -> execute -> journal -> maintain
+
+* **parse** — surface text to update objects (``?var`` statements become
+  :class:`~repro.ldml.open_updates.OpenUpdate`; SQL goes through
+  :func:`~repro.ldml.sql.translate_sql`);
+* **normalize** — the paper's reductions: open updates ground to a
+  :class:`~repro.ldml.simultaneous.SimultaneousInsert` over the backend's
+  atom universe (Section 4); ground updates pass through (their Section 3.2
+  reduction to INSERT happens inside GUA, as before);
+* **tag** — the Section 3.5 attribute-tagging layer (conjoin attribute
+  atoms), applied once, uniformly, for every backend;
+* **execute** — the pluggable :class:`UpdateBackend` does the real work:
+  :class:`GuaBackend` runs algorithm GUA against the live theory,
+  :class:`LogBackend` appends to a :class:`~repro.core.logstore.
+  LogStructuredStore` (the Section 4 strawman), :class:`NaiveBackend`
+  applies the model-level semantics world by world (Section 3.2's parallel
+  computation method);
+* **journal** — the update is recorded in the transaction journal exactly
+  once, with its structural ``kind`` (``ground`` vs ``simultaneous``), so
+  replay and persistence see one format regardless of how the statement
+  arrived;
+* **maintain** — the Section 4 periodic simplifier, for backends that keep
+  an incrementally-maintained theory.
+
+Every stage reports to a :class:`PipelineTracer` — stage name, wall time,
+atoms/wffs touched, backend counters — which feeds
+``Database.statistics()``, the CLI ``.trace`` command, and the
+``BENCH_pipeline.json`` artifact emitted by :mod:`repro.bench.pipeline_bench`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.core.gua import GuaExecutor, GuaResult, GuaStats
+from repro.core.logstore import LogStructuredStore
+from repro.core.naive import NaiveWorldStore
+from repro.core.simplification import AutoSimplifier
+from repro.core.transaction import KIND_GROUND, KIND_SIMULTANEOUS, UpdateLog
+from repro.errors import TheoryError, UpdateError
+from repro.ldml.ast import GroundUpdate, Insert
+from repro.ldml.open_updates import OpenUpdate, parse_open_update
+from repro.ldml.parser import parse_update
+from repro.ldml.simultaneous import SimultaneousInsert
+from repro.ldml.sql import translate_sql
+from repro.logic.parser import parse as parse_formula
+from repro.logic.syntax import Formula
+from repro.logic.terms import GroundAtom
+from repro.query.answers import Answer, ask as ask_theory
+from repro.theory.theory import ExtendedRelationalTheory
+from repro.theory.worlds import AlternativeWorld
+
+#: The stages, in execution order.
+STAGES: Tuple[str, ...] = (
+    "parse",
+    "normalize",
+    "tag",
+    "execute",
+    "journal",
+    "maintain",
+)
+
+
+# -- observability -----------------------------------------------------------------
+
+
+@dataclass
+class StageEvent:
+    """One stage execution inside one update."""
+
+    stage: str
+    seconds: float = 0.0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class UpdateTrace:
+    """The full stage record of one update through the pipeline."""
+
+    sequence: int
+    backend: str
+    kind: str = "?"
+    events: List[StageEvent] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(event.seconds for event in self.events)
+
+    def stage_seconds(self, stage: str) -> float:
+        return sum(e.seconds for e in self.events if e.stage == stage)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateTrace(#{self.sequence} {self.kind} via {self.backend}, "
+            f"{self.total_seconds * 1e3:.3f} ms)"
+        )
+
+
+class PipelineTracer:
+    """Collects per-stage trace events and cumulative totals.
+
+    One tracer per :class:`~repro.core.engine.Database`; the pipeline is
+    single-threaded, so the tracer tracks one in-flight update at a time.
+    Recent per-update traces are kept in a bounded history (for the CLI
+    ``.trace`` command); cumulative per-stage counters are kept forever and
+    surfaced by ``Database.statistics()``.
+    """
+
+    def __init__(self, keep_last: int = 64):
+        self._history: Deque[UpdateTrace] = deque(maxlen=keep_last)
+        self._current: Optional[UpdateTrace] = None
+        self._calls: Dict[str, int] = {stage: 0 for stage in STAGES}
+        self._seconds: Dict[str, float] = {stage: 0.0 for stage in STAGES}
+        self.updates_traced = 0
+
+    def begin(self, backend: str) -> UpdateTrace:
+        self._current = UpdateTrace(
+            sequence=self.updates_traced, backend=backend
+        )
+        return self._current
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one stage; the yielded event's ``detail`` is caller-filled."""
+        event = StageEvent(stage=name)
+        start = time.perf_counter()
+        try:
+            yield event
+        finally:
+            event.seconds = time.perf_counter() - start
+            self._calls[name] = self._calls.get(name, 0) + 1
+            self._seconds[name] = self._seconds.get(name, 0.0) + event.seconds
+            if self._current is not None:
+                self._current.events.append(event)
+
+    def commit(self) -> None:
+        """The in-flight update completed; move it to the history."""
+        if self._current is not None:
+            self._history.append(self._current)
+            self.updates_traced += 1
+            self._current = None
+
+    def abort(self) -> None:
+        """The in-flight update failed; drop its partial trace (cumulative
+        stage totals keep the time actually spent)."""
+        self._current = None
+
+    def last(self) -> Optional[UpdateTrace]:
+        return self._history[-1] if self._history else None
+
+    def history(self) -> Tuple[UpdateTrace, ...]:
+        return tuple(self._history)
+
+    def stage_totals(self) -> Dict[str, Tuple[int, float]]:
+        """stage -> (calls, cumulative seconds)."""
+        return {
+            stage: (self._calls.get(stage, 0), self._seconds.get(stage, 0.0))
+            for stage in STAGES
+        }
+
+    def statistics(self) -> Dict[str, float]:
+        """Flat counters for ``Database.statistics()``."""
+        stats: Dict[str, float] = {"pipeline_updates": self.updates_traced}
+        for stage, (calls, seconds) in self.stage_totals().items():
+            stats[f"pipeline_{stage}_calls"] = calls
+            stats[f"pipeline_{stage}_seconds"] = seconds
+        return stats
+
+
+# -- the normalized form -----------------------------------------------------------
+
+
+@dataclass
+class NormalizedUpdate:
+    """What the normalize/tag stages hand to a backend.
+
+    ``kind`` is ``"ground"`` (``ground`` holds a single ground update) or
+    ``"simultaneous"`` (``simultaneous`` holds the set of pairs an open or
+    explicitly-simultaneous update reduced to).
+    """
+
+    kind: str
+    original: Any
+    ground: Optional[GroundUpdate] = None
+    simultaneous: Optional[SimultaneousInsert] = None
+
+    @property
+    def executable(self) -> Union[GroundUpdate, SimultaneousInsert]:
+        return self.ground if self.kind == KIND_GROUND else self.simultaneous
+
+    def atoms(self) -> FrozenSet[GroundAtom]:
+        return self.executable.atoms()
+
+
+# -- backends ----------------------------------------------------------------------
+
+
+@dataclass
+class BackendResult:
+    """Uniform execution outcome for backends that do not run GUA.
+
+    Mirrors the slice of :class:`~repro.core.gua.GuaResult` the façade and
+    CLI consume (``update``, ``stats``), plus backend-specific ``detail``.
+    """
+
+    update: Union[GroundUpdate, SimultaneousInsert]
+    stats: GuaStats = field(default_factory=GuaStats)
+    detail: Dict[str, int] = field(default_factory=dict)
+
+
+class UpdateBackend:
+    """The pluggable execution strategy behind the pipeline.
+
+    Implementations must provide the storage/reasoning primitives below;
+    the pipeline supplies parsing, normalization, tagging, journaling, and
+    maintenance around them.  ``FEATURES`` advertises optional capabilities
+    (``"theory"`` — a live/materializable theory object; ``"savepoints"`` —
+    in-place snapshot/restore; ``"simplify"`` — in-place Section 4
+    simplification).
+    """
+
+    name: str = "?"
+    FEATURES: FrozenSet[str] = frozenset()
+
+    def supports(self, feature: str) -> bool:
+        return feature in self.FEATURES
+
+    @property
+    def theory(self) -> ExtendedRelationalTheory:
+        raise TheoryError(
+            f"the {self.name!r} backend does not expose a theory"
+        )
+
+    def execute(self, normalized: NormalizedUpdate):
+        raise NotImplementedError
+
+    def ask(self, query: Union[Formula, str]) -> Answer:
+        raise NotImplementedError
+
+    def world_set(self) -> FrozenSet[AlternativeWorld]:
+        raise NotImplementedError
+
+    def world_count(self, cap: Optional[int] = None) -> int:
+        count = 0
+        for _ in self.world_set():
+            count += 1
+            if cap is not None and count >= cap:
+                break
+        return count
+
+    def is_consistent(self) -> bool:
+        raise NotImplementedError
+
+    def atom_universe(self) -> FrozenSet[GroundAtom]:
+        """The ground-atom universe open updates are grounded over."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """The backend's growth measure (journaled with each update)."""
+        raise NotImplementedError
+
+    def statistics(self) -> Dict[str, int]:
+        return {}
+
+
+class GuaBackend(UpdateBackend):
+    """Algorithm GUA against a live, incrementally-maintained theory."""
+
+    name = "gua"
+    FEATURES = frozenset({"theory", "savepoints", "simplify"})
+
+    def __init__(
+        self,
+        theory: ExtendedRelationalTheory,
+        *,
+        entailment_mode: str = "conjunct",
+        **gua_options,
+    ):
+        self._theory = theory
+        self.executor = GuaExecutor(
+            theory, entailment_mode=entailment_mode, **gua_options
+        )
+
+    @property
+    def theory(self) -> ExtendedRelationalTheory:
+        return self._theory
+
+    def execute(self, normalized: NormalizedUpdate) -> GuaResult:
+        if normalized.kind == KIND_GROUND:
+            return self.executor.apply(normalized.ground)
+        return self.executor.apply_simultaneous(normalized.simultaneous)
+
+    def ask(self, query: Union[Formula, str]) -> Answer:
+        return ask_theory(self._theory, query)
+
+    def world_set(self) -> FrozenSet[AlternativeWorld]:
+        return self._theory.world_set()
+
+    def world_count(self, cap: Optional[int] = None) -> int:
+        return self._theory.world_count(cap=cap)
+
+    def is_consistent(self) -> bool:
+        return self._theory.is_consistent()
+
+    def atom_universe(self) -> FrozenSet[GroundAtom]:
+        return self._theory.atom_universe()
+
+    def size(self) -> int:
+        return self._theory.size()
+
+    def statistics(self) -> Dict[str, int]:
+        stats = dict(self._theory.statistics())
+        stats.update(self._theory.solver_statistics())
+        return stats
+
+
+class LogBackend(UpdateBackend):
+    """The Section 4 strawman: O(1) appends, replay-on-read."""
+
+    name = "log"
+    FEATURES = frozenset({"theory", "compact"})
+
+    def __init__(
+        self,
+        base: Optional[ExtendedRelationalTheory] = None,
+        *,
+        simplify_every: Optional[int] = None,
+    ):
+        self.store = LogStructuredStore(base, simplify_every=simplify_every)
+
+    @property
+    def theory(self) -> ExtendedRelationalTheory:
+        """The materialized theory — forces a (memoized) replay."""
+        return self.store.materialize()
+
+    def execute(self, normalized: NormalizedUpdate) -> BackendResult:
+        self.store.apply(normalized.executable)
+        return BackendResult(
+            update=normalized.executable,
+            detail={"log_pending": self.store.pending()},
+        )
+
+    def ask(self, query: Union[Formula, str]) -> Answer:
+        return self.store.ask(query)
+
+    def world_set(self) -> FrozenSet[AlternativeWorld]:
+        return self.store.world_set()
+
+    def is_consistent(self) -> bool:
+        return self.store.materialize().is_consistent()
+
+    def atom_universe(self) -> FrozenSet[GroundAtom]:
+        # Grounding an open update needs the current state: the honest cost
+        # of the strawman is that this forces a replay.
+        return self.store.materialize().atom_universe()
+
+    def size(self) -> int:
+        # Deliberately O(1): appends must stay cheap, so the journaled size
+        # measure is the pending-log length, never a forced replay.
+        return self.store.pending()
+
+    def compact(self) -> None:
+        self.store.compact()
+
+    def statistics(self) -> Dict[str, int]:
+        return self.store.statistics()
+
+
+class NaiveBackend(UpdateBackend):
+    """Section 3.2's parallel computation method: explicit worlds.
+
+    Alongside the world set it tracks the atom universe the completion
+    axioms would represent (base universe plus every atom an update
+    mentions), so open updates ground over the same candidates as on the
+    theory backends.
+    """
+
+    name = "naive"
+    FEATURES = frozenset()
+
+    def __init__(self, base: Optional[ExtendedRelationalTheory] = None):
+        base = base or ExtendedRelationalTheory()
+        self.store = NaiveWorldStore.from_theory(base)
+        self._universe = set(base.atom_universe())
+
+    def execute(self, normalized: NormalizedUpdate) -> BackendResult:
+        self._universe.update(normalized.atoms())
+        self.store.apply(normalized.executable)
+        return BackendResult(
+            update=normalized.executable,
+            detail={"worlds": self.store.world_count()},
+        )
+
+    def ask(self, query: Union[Formula, str]) -> Answer:
+        if isinstance(query, str):
+            query = parse_formula(query)
+        worlds = self.store.worlds
+        # Matches the SAT-backed answers on an inconsistent theory: with no
+        # worlds, everything is (vacuously) certain and nothing possible.
+        return Answer(
+            certain=all(world.satisfies(query) for world in worlds),
+            possible=any(world.satisfies(query) for world in worlds),
+        )
+
+    def world_set(self) -> FrozenSet[AlternativeWorld]:
+        return self.store.worlds
+
+    def is_consistent(self) -> bool:
+        return self.store.is_consistent()
+
+    def atom_universe(self) -> FrozenSet[GroundAtom]:
+        return frozenset(self._universe)
+
+    def size(self) -> int:
+        return self.store.world_count()
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "worlds": self.store.world_count(),
+            "universe_atoms": len(self._universe),
+        }
+
+
+#: backend name -> constructor; :func:`make_backend` is the registry lookup.
+BACKENDS = {
+    "gua": GuaBackend,
+    "log": LogBackend,
+    "naive": NaiveBackend,
+}
+
+
+def make_backend(
+    name: str,
+    base: ExtendedRelationalTheory,
+    *,
+    entailment_mode: str = "conjunct",
+    simplify_every: Optional[int] = None,
+) -> UpdateBackend:
+    """Instantiate a backend by registry name over a base theory."""
+    if name == "gua":
+        return GuaBackend(base, entailment_mode=entailment_mode)
+    if name == "log":
+        return LogBackend(base, simplify_every=simplify_every)
+    if name == "naive":
+        return NaiveBackend(base)
+    if name in BACKENDS:  # registered externally
+        return BACKENDS[name](base)
+    raise UpdateError(
+        f"unknown backend {name!r} (expected one of {sorted(BACKENDS)})"
+    )
+
+
+# -- the pipeline ------------------------------------------------------------------
+
+
+class UpdatePipeline:
+    """One staged execution path for every update, any backend.
+
+    Owns nothing but the wiring: the backend does the storage work, the
+    journal is the transaction manager's, the tracer aggregates
+    observability, and the optional simplifier implements the maintain
+    stage for theory-keeping backends.
+    """
+
+    def __init__(
+        self,
+        backend: UpdateBackend,
+        journal: UpdateLog,
+        tracer: PipelineTracer,
+        *,
+        schema=None,
+        auto_tag: bool = False,
+        simplifier: Optional[AutoSimplifier] = None,
+    ):
+        self.backend = backend
+        self.journal = journal
+        self.tracer = tracer
+        self.schema = schema
+        self.auto_tag = auto_tag and schema is not None
+        self.simplifier = simplifier
+
+    # -- entry point ------------------------------------------------------------
+
+    def submit(
+        self,
+        statement: Union[str, GroundUpdate, OpenUpdate, SimultaneousInsert],
+        *,
+        domains=None,
+        source: str = "ldml",
+    ):
+        """Run one statement through parse → ... → maintain.
+
+        Returns the backend's execution result (:class:`GuaResult` for the
+        GUA backend, :class:`BackendResult` otherwise).
+        """
+        trace = self.tracer.begin(self.backend.name)
+        try:
+            with self.tracer.stage("parse") as event:
+                parsed = self._parse(statement, source)
+                event.detail["source"] = source
+                event.detail["statement"] = type(parsed).__name__
+
+            with self.tracer.stage("normalize") as event:
+                normalized = self._normalize(parsed, domains)
+                trace.kind = (
+                    "open" if isinstance(parsed, OpenUpdate) else normalized.kind
+                )
+                event.detail["kind"] = trace.kind
+                if normalized.simultaneous is not None:
+                    event.detail["pairs"] = len(normalized.simultaneous)
+
+            with self.tracer.stage("tag") as event:
+                normalized = self._tag(normalized)
+                event.detail["tagged"] = self.auto_tag
+                event.detail["atoms"] = len(normalized.atoms())
+
+            with self.tracer.stage("execute") as event:
+                result = self.backend.execute(normalized)
+                event.detail["backend"] = self.backend.name
+                stats = getattr(result, "stats", None)
+                if stats is not None:
+                    event.detail["wffs_added"] = stats.wffs_added
+                    event.detail["nodes_added"] = stats.nodes_added
+                detail = getattr(result, "detail", None)
+                if detail:
+                    event.detail.update(detail)
+
+            with self.tracer.stage("journal") as event:
+                entry = self.journal.record(
+                    normalized.executable, self.backend.size()
+                )
+                event.detail["kind"] = entry.kind
+                event.detail["sequence"] = entry.sequence
+
+            with self.tracer.stage("maintain") as event:
+                report = None
+                if self.simplifier is not None and self.backend.supports(
+                    "simplify"
+                ):
+                    report = self.simplifier.after_update(self.backend.theory)
+                event.detail["simplified"] = report is not None
+                if report is not None:
+                    event.detail["size_after"] = report.size_after
+        except BaseException:
+            self.tracer.abort()
+            raise
+        self.tracer.commit()
+        return result
+
+    # -- stages -----------------------------------------------------------------
+
+    def _parse(self, statement, source: str):
+        if source == "sql":
+            if not isinstance(statement, str):
+                raise UpdateError("SQL statements must be strings")
+            return translate_sql(statement, self.schema)
+        if isinstance(statement, str):
+            if "?" in statement:
+                return parse_open_update(statement)
+            return parse_update(statement)
+        if isinstance(
+            statement, (GroundUpdate, OpenUpdate, SimultaneousInsert)
+        ):
+            return statement
+        raise UpdateError(
+            f"cannot execute {statement!r}: expected LDML text, a ground "
+            "update, an open update, or a simultaneous set"
+        )
+
+    def _normalize(self, parsed, domains) -> NormalizedUpdate:
+        if isinstance(parsed, OpenUpdate):
+            simultaneous = parsed.expand(self.backend, domains)
+            return NormalizedUpdate(
+                kind=KIND_SIMULTANEOUS, original=parsed, simultaneous=simultaneous
+            )
+        if isinstance(parsed, SimultaneousInsert):
+            return NormalizedUpdate(
+                kind=KIND_SIMULTANEOUS, original=parsed, simultaneous=parsed
+            )
+        return NormalizedUpdate(kind=KIND_GROUND, original=parsed, ground=parsed)
+
+    def tag_ground(self, update: GroundUpdate) -> GroundUpdate:
+        """Tag one ground update (identity when tagging is off)."""
+        if not self.auto_tag:
+            return update
+        insert = update.to_insert()
+        tagged_body = self.schema.tag_with_attributes(insert.body)
+        if tagged_body is insert.body:
+            return insert
+        return Insert(tagged_body, insert.where)
+
+    def _tag(self, normalized: NormalizedUpdate) -> NormalizedUpdate:
+        """The Section 3.5 attribute-tagging layer, for every backend."""
+        if not self.auto_tag:
+            return normalized
+        if normalized.kind == KIND_GROUND:
+            return NormalizedUpdate(
+                kind=KIND_GROUND,
+                original=normalized.original,
+                ground=self.tag_ground(normalized.ground),
+            )
+        tagged_set = SimultaneousInsert(
+            [
+                (where, self.schema.tag_with_attributes(body))
+                for where, body in normalized.simultaneous.pairs
+            ]
+        )
+        return NormalizedUpdate(
+            kind=KIND_SIMULTANEOUS,
+            original=normalized.original,
+            simultaneous=tagged_set,
+        )

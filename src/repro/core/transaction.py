@@ -3,20 +3,44 @@
 Section 4 contrasts the GUA approach with "simply keeping a record of past
 updates and recomputing the state of the theory on each new query".  This
 module provides that record as first-class machinery: every update applied
-through the :class:`~repro.core.engine.Database` façade is journaled, the
-journal can be replayed onto a fresh copy of the base theory (the paper's
-strawman, used as a baseline in tests), and savepoints give cheap rollback.
+through the :class:`~repro.core.engine.Database` façade is journaled (by the
+pipeline's journal stage), the journal can be replayed onto a fresh copy of
+the base theory (the paper's strawman, used as a baseline in tests), and
+savepoints give cheap rollback.
+
+A journal entry records either a ground update or a
+:class:`~repro.ldml.simultaneous.SimultaneousInsert` (the normalized form of
+an open update); ``entry.kind`` says which, so consumers dispatch without
+isinstance probing.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import UpdateError
 from repro.ldml.ast import GroundUpdate
-from repro.theory.theory import ExtendedRelationalTheory
+from repro.ldml.simultaneous import SimultaneousInsert
+from repro.theory.theory import ExtendedRelationalTheory, TheorySnapshot
+
+#: What the journal may hold: a ground update, or the simultaneous set an
+#: open update normalized to.
+JournaledUpdate = Union[GroundUpdate, SimultaneousInsert]
+
+#: ``LogEntry.kind`` values.
+KIND_GROUND = "ground"
+KIND_SIMULTANEOUS = "simultaneous"
+
+
+def kind_of(update: JournaledUpdate) -> str:
+    """The structural journal kind of an update object."""
+    return (
+        KIND_SIMULTANEOUS
+        if isinstance(update, SimultaneousInsert)
+        else KIND_GROUND
+    )
 
 
 @dataclass(frozen=True)
@@ -24,9 +48,10 @@ class LogEntry:
     """One journaled update."""
 
     sequence: int
-    update: GroundUpdate
+    update: JournaledUpdate
     wall_time: float
     theory_size_after: int
+    kind: str = KIND_GROUND
 
 
 class UpdateLog:
@@ -35,12 +60,19 @@ class UpdateLog:
     def __init__(self):
         self._entries: List[LogEntry] = []
 
-    def record(self, update: GroundUpdate, theory_size_after: int) -> LogEntry:
+    def record(
+        self,
+        update: JournaledUpdate,
+        theory_size_after: int,
+        *,
+        kind: Optional[str] = None,
+    ) -> LogEntry:
         entry = LogEntry(
             sequence=len(self._entries),
             update=update,
             wall_time=time.time(),
             theory_size_after=theory_size_after,
+            kind=kind if kind is not None else kind_of(update),
         )
         self._entries.append(entry)
         return entry
@@ -48,7 +80,7 @@ class UpdateLog:
     def entries(self) -> Sequence[LogEntry]:
         return tuple(self._entries)
 
-    def updates(self) -> List[GroundUpdate]:
+    def updates(self) -> List[JournaledUpdate]:
         return [entry.update for entry in self._entries]
 
     def truncate(self, length: int) -> None:
@@ -65,17 +97,22 @@ class UpdateLog:
 
 @dataclass
 class Savepoint:
-    """A named rollback point: base-theory copy position + log length."""
+    """A named rollback point: log position + a theory snapshot.
+
+    The snapshot is the public :meth:`ExtendedRelationalTheory.snapshot`
+    capture (section + axiom-instance registry), not a full theory copy —
+    restoring it rewinds the live theory in place.
+    """
 
     name: str
     log_length: int
-    theory_snapshot: ExtendedRelationalTheory
+    theory_snapshot: TheorySnapshot
 
 
 class TransactionManager:
     """Savepoints and replay over a theory + log pair.
 
-    Rollback restores the snapshotted theory and truncates the journal;
+    Rollback hands back the snapshot to restore and truncates the journal;
     :meth:`replay` rebuilds state from the base theory through the log (the
     Section 4 strawman — every query pays the whole history), which tests
     use to confirm the journal and the live theory agree.
@@ -96,7 +133,7 @@ class TransactionManager:
         point = Savepoint(
             name=name,
             log_length=len(self.log),
-            theory_snapshot=theory.copy(),
+            theory_snapshot=theory.snapshot(),
         )
         self._savepoints[name] = point
         return point
@@ -104,7 +141,7 @@ class TransactionManager:
     def savepoint_names(self) -> Tuple[str, ...]:
         return tuple(self._savepoints)
 
-    def rollback(self, name: str) -> ExtendedRelationalTheory:
+    def rollback(self, name: str) -> TheorySnapshot:
         try:
             point = self._savepoints[name]
         except KeyError:
@@ -116,15 +153,28 @@ class TransactionManager:
             for n, p in self._savepoints.items()
             if p.log_length <= point.log_length
         }
-        return point.theory_snapshot.copy()
+        return point.theory_snapshot
 
     def replay(self, *, upto: Optional[int] = None) -> ExtendedRelationalTheory:
-        """Rebuild the theory by re-running the journal from the base."""
-        from repro.core.gua import gua_run_script
+        """Rebuild the theory by re-running the journal from the base.
 
-        updates = self.log.updates()
+        Dispatches on ``entry.kind``: ground entries run through GUA's
+        single-update path, simultaneous entries through
+        :meth:`~repro.core.gua.GuaExecutor.apply_simultaneous` — exactly the
+        two paths live execution used, so the replayed world set matches.
+        Journaled updates are already attribute-tagged; replay must not (and
+        does not) tag again.
+        """
+        from repro.core.gua import GuaExecutor
+
+        entries = self.log.entries()
         if upto is not None:
-            updates = updates[:upto]
+            entries = entries[:upto]
         theory = self._base.copy()
-        gua_run_script(theory, updates)
+        executor = GuaExecutor(theory)
+        for entry in entries:
+            if entry.kind == KIND_SIMULTANEOUS:
+                executor.apply_simultaneous(entry.update)
+            else:
+                executor.apply(entry.update)
         return theory

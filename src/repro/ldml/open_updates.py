@@ -45,10 +45,22 @@ from repro.logic.syntax import (
     Top,
 )
 from repro.logic.terms import Constant, GroundAtom
-from repro.theory.theory import ExtendedRelationalTheory
 
 #: Reserved prefix marking a variable travelling as a constant.
 VAR_PREFIX = "_var_"
+
+#: Anything grounding can range over: an
+#: :class:`~repro.theory.theory.ExtendedRelationalTheory`, an update backend
+#: (both expose ``atom_universe()``), or a bare collection of ground atoms.
+UniverseSource = object
+
+
+def _universe_of(source: UniverseSource) -> FrozenSet[GroundAtom]:
+    """The ground-atom universe of a theory/backend/atom collection."""
+    getter = getattr(source, "atom_universe", None)
+    if callable(getter):
+        return getter()
+    return frozenset(source)
 
 _SURFACE_VAR_RE = re.compile(r"\?([A-Za-z_][A-Za-z0-9_]*)")
 
@@ -110,17 +122,18 @@ class OpenUpdate:
     # -- grounding ------------------------------------------------------------
 
     def candidate_values(
-        self, theory: ExtendedRelationalTheory
+        self, source: UniverseSource
     ) -> Dict[str, Tuple[Constant, ...]]:
-        """Per-variable candidate constants from the theory's atom universe.
+        """Per-variable candidate constants from *source*'s atom universe.
 
         A variable's candidates are every constant that some universe atom
-        holds at a position where the variable occurs.
+        holds at a position where the variable occurs.  *source* may be a
+        theory, an update backend, or a plain collection of ground atoms.
         """
         candidates: Dict[str, set] = {name: set() for name in self.variables()}
         if not candidates:
             return {}
-        universe = theory.atom_universe()
+        universe = _universe_of(source)
         by_predicate: Dict = {}
         for atom in universe:
             by_predicate.setdefault(atom.predicate, []).append(atom)
@@ -143,7 +156,7 @@ class OpenUpdate:
 
     def bindings(
         self,
-        theory: ExtendedRelationalTheory,
+        source: UniverseSource,
         domains: Optional[Mapping[str, Sequence[Constant]]] = None,
     ) -> Iterator[Dict[str, Constant]]:
         """Every binding over the candidate sets (or explicit *domains*)."""
@@ -151,7 +164,7 @@ class OpenUpdate:
         if not names:
             yield {}
             return
-        candidates = self.candidate_values(theory)
+        candidates = self.candidate_values(source)
         pools: List[Sequence[Constant]] = []
         for name in names:
             if domains is not None and name in domains:
@@ -175,12 +188,15 @@ class OpenUpdate:
 
     def expand(
         self,
-        theory: ExtendedRelationalTheory,
+        source: UniverseSource,
         domains: Optional[Mapping[str, Sequence[Constant]]] = None,
         *,
         prune: bool = True,
     ) -> SimultaneousInsert:
         """The Section 4 reduction: one simultaneous set of ground updates.
+
+        *source* provides the atom universe to ground over — a theory, an
+        update backend, or a plain atom collection.
 
         With ``prune`` (default), ground pairs whose selection clause is
         *certainly false* under the completion axioms are dropped — a sound,
@@ -195,9 +211,9 @@ class OpenUpdate:
         empty range is almost always a bug; pass explicit *domains* or
         ``prune=False`` to override.
         """
-        universe = theory.atom_universe()
+        universe = _universe_of(source)
         ground_updates = []
-        for binding in self.bindings(theory, domains):
+        for binding in self.bindings(source, domains):
             ground = self.ground(binding)
             if prune and _clause_certainly_false(
                 ground.to_insert().where, universe

@@ -100,7 +100,10 @@ def parse_script(text: str) -> List[GroundUpdate]:
     """Parse a ';'-separated sequence of LDML statements.
 
     Blank statements and ``--`` line comments are ignored, so update scripts
-    can be written as readable files.
+    can be written as readable files.  A statement containing ``?var``
+    variables parses as an :class:`~repro.ldml.open_updates.OpenUpdate`
+    (grounded by the engine at execution time), so scripts may freely mix
+    ground and open updates.
     """
     without_comments = "\n".join(
         line.split("--", 1)[0] for line in text.splitlines()
@@ -108,6 +111,13 @@ def parse_script(text: str) -> List[GroundUpdate]:
     updates = []
     for statement in without_comments.split(";"):
         statement = statement.strip()
-        if statement:
+        if not statement:
+            continue
+        if "?" in statement:
+            # Imported here: open_updates imports this module.
+            from repro.ldml.open_updates import parse_open_update
+
+            updates.append(parse_open_update(statement))
+        else:
             updates.append(parse_update(statement))
     return updates

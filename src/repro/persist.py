@@ -213,7 +213,8 @@ def database_to_dict(db) -> Dict[str, Any]:
         "format": DATABASE_FORMAT,
         "theory": theory_to_dict(db.theory),
         "journal": [
-            update_to_dict(entry.update) for entry in db.transactions.log.entries()
+            {"kind": entry.kind, **update_to_dict(entry.update)}
+            for entry in db.transactions.log.entries()
         ],
         "auto_tag": db.auto_tag,
     }
@@ -234,7 +235,10 @@ def database_from_dict(data: Dict[str, Any]):
     )
     db.theory.replace_formulas(theory.formulas())
     for entry in data.get("journal", []):
-        db.transactions.log.record(update_from_dict(entry), db.theory.size())
+        # Older files have no "kind"; record() then derives it structurally.
+        db.transactions.log.record(
+            update_from_dict(entry), db.theory.size(), kind=entry.get("kind")
+        )
     return db
 
 

@@ -35,6 +35,8 @@ from typing import (
     Union,
 )
 
+from dataclasses import dataclass
+
 from repro.errors import TheoryError
 from repro.logic.allsat import iter_projected_models
 from repro.logic.cnf import Clause, tseitin
@@ -53,6 +55,20 @@ from repro.theory.index import StoredWff, WffStore
 from repro.theory.language import Language
 from repro.theory.schema import DatabaseSchema
 from repro.theory.worlds import AlternativeWorld
+
+
+@dataclass(frozen=True)
+class TheorySnapshot:
+    """An immutable capture of the theory's mutable state.
+
+    Holds the non-axiomatic section plus the GUA axiom-instance registry, so
+    a restore rewinds *both*: the stored wffs and the dedup memory that
+    decides whether Steps 5/6 re-add an instance.  Formulas are immutable, so
+    the snapshot shares them safely with the live theory.
+    """
+
+    formulas: Tuple[Formula, ...]
+    axiom_instances: FrozenSet[Formula]
 
 
 class ExtendedRelationalTheory:
@@ -80,6 +96,11 @@ class ExtendedRelationalTheory:
         self._clause_cache_hits = 0
         self._clause_cache_misses = 0
         self._universe_cache: Tuple[int, Optional[FrozenSet[GroundAtom]]] = (-1, None)
+        # GUA's cross-update dedup registry for Step 5/6 axiom instances and
+        # the per-dependency FD key indexes.  Both are first-class state of
+        # the theory (captured by snapshot/restore), not ad-hoc attributes.
+        self._axiom_instances: set = set()
+        self._fd_key_indexes: Dict[int, object] = {}
         #: Shared work counters for every solver this theory spins up
         #: (consistency, world enumeration, and the query layer thread it).
         self.sat_stats = SolverStats()
@@ -125,14 +146,55 @@ class ExtendedRelationalTheory:
         self._store.replace_all(formulas)
         # Rebuilding the store resets its arrival log; derived caches (the
         # FD key indexes, the GUA axiom-instance registry) would be stale.
-        for cache in ("_fd_key_indexes", "_axiom_instances"):
-            if hasattr(self, cache):
-                delattr(self, cache)
+        self._axiom_instances.clear()
+        self._fd_key_indexes.clear()
 
     @property
     def store(self) -> WffStore:
         """The Section 3.6 indexed store (GUA operates directly on it)."""
         return self._store
+
+    # -- GUA-facing registries -------------------------------------------------------
+
+    def register_axiom_instance(self, instance: Formula) -> bool:
+        """Deduplicate Step 5/6 axiom instances across updates.
+
+        Returns True the first time *instance* is seen (the caller should add
+        it to the section), False on repeats.  Renames can make entries
+        syntactically stale; the worst case is re-adding a logically
+        redundant wff — harmless (and counted by the benches).
+        """
+        if instance in self._axiom_instances:
+            return False
+        self._axiom_instances.add(instance)
+        return True
+
+    def fd_key_index(self, dependency, factory):
+        """The per-dependency key index for incremental Step 6 (memoized)."""
+        index = self._fd_key_indexes.get(id(dependency))
+        if index is None:
+            index = factory()
+            self._fd_key_indexes[id(dependency)] = index
+        return index
+
+    # -- snapshot / restore ----------------------------------------------------------
+
+    def snapshot(self) -> TheorySnapshot:
+        """Capture the mutable state a rollback must rewind."""
+        return TheorySnapshot(
+            formulas=self._store.formulas(),
+            axiom_instances=frozenset(self._axiom_instances),
+        )
+
+    def restore(self, snapshot: TheorySnapshot) -> None:
+        """Restore a :meth:`snapshot` in place.
+
+        The theory object's identity is preserved — executors, transaction
+        managers, and caches holding a reference keep working; the per-wff
+        clause cache and FD key indexes are invalidated by the store rebuild.
+        """
+        self.replace_formulas(snapshot.formulas)
+        self._axiom_instances = set(snapshot.axiom_instances)
 
     # -- derived structure -----------------------------------------------------------
 

@@ -49,6 +49,30 @@ class TestHandleCommand:
         handle_command(db, ".theory", out=out)
         assert "non-axiomatic section" in out.getvalue()
 
+    def test_trace_before_any_update(self, db):
+        out = io.StringIO()
+        handle_command(db, ".trace", out=out)
+        text = out.getvalue()
+        assert "no updates traced yet" in text
+        assert "cumulative" in text
+
+    def test_trace_after_update(self, db):
+        handle_command(db, "INSERT P(a) WHERE T")
+        out = io.StringIO()
+        handle_command(db, ".trace", out=out)
+        text = out.getvalue()
+        assert "update #0 (ground) via gua" in text
+        for stage in ("parse", "normalize", "tag", "execute", "journal",
+                      "maintain"):
+            assert stage in text
+
+    def test_trace_open_update(self, db):
+        handle_command(db, "INSERT P(a) WHERE T")
+        handle_command(db, "INSERT Q(?x) WHERE P(?x)")
+        out = io.StringIO()
+        handle_command(db, ".trace", out=out)
+        assert "(open)" in out.getvalue()
+
     def test_simplify(self, db):
         handle_command(db, "INSERT P(a) WHERE T")
         handle_command(db, "INSERT !P(a) WHERE T")
@@ -136,3 +160,11 @@ class TestScriptRunner:
         script.write_text("ASSERT P(a)")
         status = main(["--load", str(saved), str(script)])
         assert status == 0
+
+    def test_main_backend_flag(self, tmp_path, capsys):
+        script = tmp_path / "updates.ldml"
+        script.write_text("INSERT P(a) WHERE T; ASSERT P(a)")
+        for backend in ("gua", "log", "naive"):
+            status = main(["--backend", backend, str(script)])
+            assert status == 0
+            assert "applied 2 updates" in capsys.readouterr().out

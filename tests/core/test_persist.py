@@ -211,3 +211,67 @@ class TestSimultaneousJournal:
         loaded = load_database(path)
         assert loaded.theory.world_set() == db.theory.world_set()
         assert len(loaded.transactions.log) == 2
+
+    def test_journal_kind_persisted(self, tmp_path):
+        db = Database()
+        db.update("INSERT Emp(alice,sales) WHERE T")
+        db.update("INSERT Moved(?x) WHERE Emp(?x, sales)")
+        document = database_to_dict(db)
+        assert [entry["kind"] for entry in document["journal"]] == [
+            "ground",
+            "simultaneous",
+        ]
+        loaded = database_from_dict(document)
+        assert [e.kind for e in loaded.transactions.log.entries()] == [
+            "ground",
+            "simultaneous",
+        ]
+
+    def test_journal_without_kind_still_loads(self):
+        """Files written before the kind field derive it structurally."""
+        db = Database()
+        db.update("INSERT Emp(alice,sales) WHERE T")
+        db.update("INSERT Moved(?x) WHERE Emp(?x, sales)")
+        document = database_to_dict(db)
+        for entry in document["journal"]:
+            del entry["kind"]
+        loaded = database_from_dict(document)
+        assert [e.kind for e in loaded.transactions.log.entries()] == [
+            "ground",
+            "simultaneous",
+        ]
+
+    def test_loaded_replay_reproduces_worlds_after_open_update(self, tmp_path):
+        db = Database()
+        db.update("INSERT Emp(alice,sales) | Emp(alice,hr) WHERE T")
+        db.update("INSERT Emp(carol,sales) WHERE T")
+        db.update("INSERT Moved(?x) WHERE Emp(?x, sales)")
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database(path)
+        # The loaded journal replays onto the base to the same world set
+        # the live engine reached before saving.
+        replayed = loaded.transactions.replay()
+        assert replayed.world_set() == db.theory.world_set()
+
+    def test_round_trip_after_rollback_past_open_update(self, tmp_path):
+        db = Database()
+        db.update("INSERT Emp(alice,sales) WHERE T")
+        db.savepoint("before-open")
+        db.update("INSERT Moved(?x) WHERE Emp(?x, sales)")
+        db.update("INSERT Emp(dave,hr) WHERE T")
+        db.rollback("before-open")
+        expected = db.theory.world_set()
+
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.theory.world_set() == expected
+        # The rolled-back entries are gone from the persisted journal, and
+        # what remains replays to the same state.
+        assert len(loaded.transactions.log) == 1
+        assert loaded.transactions.replay().world_set() == expected
+        # And the reloaded engine keeps working past the rollback.
+        loaded.update("INSERT Moved(?x) WHERE Emp(?x, sales)")
+        db.update("INSERT Moved(?x) WHERE Emp(?x, sales)")
+        assert loaded.theory.world_set() == db.theory.world_set()

@@ -1,0 +1,131 @@
+"""The staged pipeline's observability and stage contracts."""
+
+import pytest
+
+from repro.core.engine import Database
+from repro.core.pipeline import (
+    STAGES,
+    NormalizedUpdate,
+    PipelineTracer,
+    UpdateTrace,
+)
+from repro.core.transaction import KIND_GROUND, KIND_SIMULTANEOUS
+from repro.errors import ParseError
+from repro.ldml.parser import parse_update
+
+
+class TestTracer:
+    def test_stage_timing_accumulates(self):
+        tracer = PipelineTracer()
+        tracer.begin("gua")
+        with tracer.stage("parse"):
+            pass
+        with tracer.stage("execute") as event:
+            event.detail["wffs_added"] = 2
+        tracer.commit()
+
+        trace = tracer.last()
+        assert isinstance(trace, UpdateTrace)
+        assert [e.stage for e in trace.events] == ["parse", "execute"]
+        assert all(e.seconds >= 0 for e in trace.events)
+        assert trace.events[1].detail["wffs_added"] == 2
+        assert tracer.updates_traced == 1
+
+    def test_abort_drops_trace_but_keeps_totals(self):
+        tracer = PipelineTracer()
+        tracer.begin("gua")
+        with tracer.stage("parse"):
+            pass
+        tracer.abort()
+        assert tracer.last() is None
+        assert tracer.updates_traced == 0
+        calls, _seconds = tracer.stage_totals()["parse"]
+        assert calls == 1
+
+    def test_bounded_history(self):
+        tracer = PipelineTracer(keep_last=3)
+        for _ in range(5):
+            tracer.begin("gua")
+            with tracer.stage("parse"):
+                pass
+            tracer.commit()
+        assert len(tracer.history()) == 3
+        assert tracer.updates_traced == 5
+
+    def test_statistics_keys(self):
+        tracer = PipelineTracer()
+        stats = tracer.statistics()
+        assert stats["pipeline_updates"] == 0
+        for stage in STAGES:
+            assert stats[f"pipeline_{stage}_calls"] == 0
+            assert stats[f"pipeline_{stage}_seconds"] == 0.0
+
+
+class TestDatabaseStageStatistics:
+    """Regression: statistics() must report per-stage pipeline timings."""
+
+    @pytest.mark.parametrize("backend", ["gua", "log", "naive"])
+    def test_every_stage_counted_per_update(self, backend):
+        db = Database(backend=backend)
+        db.update("INSERT P(a) | P(b) WHERE T")
+        db.update("ASSERT P(a)")
+        stats = db.statistics()
+        assert stats["pipeline_updates"] == 2
+        for stage in STAGES:
+            assert stats[f"pipeline_{stage}_calls"] == 2, stage
+            assert stats[f"pipeline_{stage}_seconds"] >= 0.0
+        # Execution took measurable (nonzero) time somewhere.
+        assert stats["pipeline_execute_seconds"] > 0.0
+
+    def test_last_trace_shape(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        trace = db.last_trace()
+        assert [e.stage for e in trace.events] == list(STAGES)
+        assert trace.backend == "gua"
+        assert trace.kind == KIND_GROUND
+        assert trace.total_seconds == sum(e.seconds for e in trace.events)
+
+    def test_open_update_traced_as_open(self):
+        db = Database(facts=["P(a)"])
+        db.update("INSERT Q(?x) WHERE P(?x)")
+        trace = db.last_trace()
+        assert trace.kind == "open"
+        normalize = trace.events[1]
+        assert normalize.stage == "normalize"
+        assert normalize.detail["pairs"] == 1
+
+    def test_failed_update_not_traced(self):
+        db = Database()
+        with pytest.raises(ParseError):
+            db.update("FROBNICATE P(a)")
+        assert db.last_trace() is None
+        assert db.statistics()["pipeline_updates"] == 0
+        assert len(db.transactions.log) == 0
+
+
+class TestJournalStage:
+    def test_ground_and_simultaneous_kinds(self):
+        db = Database(facts=["P(a)", "P(b)"])
+        db.update("ASSERT P(a)")
+        db.update("INSERT Q(?x) WHERE P(?x)")
+        kinds = [entry.kind for entry in db.transactions.log.entries()]
+        assert kinds == [KIND_GROUND, KIND_SIMULTANEOUS]
+
+    def test_journal_matches_replay(self):
+        db = Database()
+        db.run_script(
+            "INSERT P(a) | P(b) WHERE T; INSERT Mark(?x) WHERE P(?x)"
+        )
+        replayed = db.transactions.replay()
+        assert replayed.world_set() == db.theory.world_set()
+
+
+class TestNormalizedUpdate:
+    def test_ground_form(self):
+        update = parse_update("INSERT P(a) WHERE T")
+        normalized = NormalizedUpdate(
+            kind=KIND_GROUND, original=update, ground=update
+        )
+        assert normalized.executable is update
+        assert normalized.atoms() == update.atoms()

@@ -3,9 +3,16 @@
 import pytest
 
 from repro.core.engine import Database
-from repro.core.transaction import TransactionManager, UpdateLog
+from repro.core.transaction import (
+    KIND_GROUND,
+    KIND_SIMULTANEOUS,
+    TransactionManager,
+    UpdateLog,
+    kind_of,
+)
 from repro.errors import UpdateError
 from repro.ldml.parser import parse_update
+from repro.ldml.simultaneous import SimultaneousInsert
 from repro.theory.theory import ExtendedRelationalTheory
 
 
@@ -34,6 +41,21 @@ class TestUpdateLog:
         with pytest.raises(UpdateError):
             log.truncate(5)
 
+    def test_kind_derived_structurally(self):
+        log = UpdateLog()
+        ground = log.record(parse_update("INSERT P(a)"), 1)
+        sim = log.record(SimultaneousInsert([("T", "P(b)")]), 2)
+        assert ground.kind == KIND_GROUND
+        assert sim.kind == KIND_SIMULTANEOUS
+        assert kind_of(sim.update) == KIND_SIMULTANEOUS
+
+    def test_kind_override(self):
+        log = UpdateLog()
+        entry = log.record(
+            SimultaneousInsert([("T", "P(a)")]), 1, kind=KIND_SIMULTANEOUS
+        )
+        assert entry.kind == KIND_SIMULTANEOUS
+
 
 class TestReplay:
     def test_replay_matches_live_theory(self):
@@ -52,6 +74,27 @@ class TestReplay:
         from repro.logic.parser import parse
 
         assert all(w.satisfies(parse("P(a)")) for w in halfway.alternative_worlds())
+
+    def test_replay_honors_simultaneous_entries(self):
+        """A journaled SimultaneousInsert must replay through the same
+        simultaneous path live execution used — replaying it as the
+        synthetic joint INSERT would conjoin all bodies unconditionally."""
+        theory = ExtendedRelationalTheory(formulas=["P(a)"])
+        manager = TransactionManager(theory)
+        sim = SimultaneousInsert(
+            [("P(a)", "Q(a)"), ("P(b)", "Q(b)")]
+        )
+        from repro.core.gua import GuaExecutor
+
+        GuaExecutor(theory).apply_simultaneous(sim)
+        manager.log.record(sim, theory.size())
+        replayed = manager.replay()
+        assert replayed.world_set() == theory.world_set()
+        # Only the satisfied clause's body landed: Q(a) yes, Q(b) no.
+        from repro.query.answers import is_certain, is_possible
+
+        assert is_certain(replayed, "Q(a)")
+        assert not is_possible(replayed, "Q(b)")
 
     def test_base_theory_snapshot_is_isolated(self):
         theory = ExtendedRelationalTheory(formulas=["P(a)"])
@@ -92,6 +135,20 @@ class TestSavepoints:
         db.rollback("first")
         with pytest.raises(UpdateError):
             db.rollback("second")
+
+    def test_rollback_past_open_update(self):
+        db = Database()
+        db.update("INSERT P(a) WHERE T")
+        db.savepoint("sp")
+        before = db.theory.world_set()
+        db.update("INSERT Q(?x) WHERE P(?x)")
+        db.rollback("sp")
+        assert db.theory.world_set() == before
+        assert [e.kind for e in db.transactions.log.entries()] == [KIND_GROUND]
+        # The axiom-instance registry rewound too: re-running the open
+        # update must re-derive exactly the live-execution state.
+        db.update("INSERT Q(?x) WHERE P(?x)")
+        assert db.transactions.replay().world_set() == db.theory.world_set()
 
     def test_updates_after_rollback_work(self):
         db = Database()

@@ -126,3 +126,16 @@ class TestScript:
 
     def test_empty_script(self):
         assert parse_script("  -- nothing\n") == []
+
+    def test_open_updates_parse_in_scripts(self):
+        from repro.ldml.open_updates import OpenUpdate
+
+        updates = parse_script(
+            """
+            INSERT P(a);            -- ground
+            DELETE P(?x) WHERE P(?x);  -- open
+            ASSERT P(a)
+            """
+        )
+        assert [type(u) for u in updates] == [Insert, OpenUpdate, Assert_]
+        assert updates[1].variables() == ("x",)
