@@ -1,0 +1,156 @@
+"""Hash-consing arena benchmark, as a JSON artifact.
+
+Two measurements of the interning layer (:mod:`repro.logic.arena`):
+
+* **nested-Iff sweep** — eliminating the conditionals of a depth-d nested
+  biconditional duplicates each operand once per ``Iff``; on trees that is
+  O(2^d) nodes, on the interned DAG the duplicates are *shared* and the
+  Tseitin encoding stays linear in d.  The sweep records distinct DAG
+  nodes, clause counts, and wall time up to depth 20 (the PR's regression
+  bound).
+* **update/query alternation** — the E13b workload (an E5-style stream of
+  updates, each followed by ``theory.clauses()``) re-run while watching the
+  arena's intern hit/miss counters.  Repeated workloads rebuild the same
+  atoms, guards, and axiom instances, so the delta hit rate over the run is
+  the fraction of construction work the arena deduplicated; the acceptance
+  bar is > 0.5.
+
+CI uploads the result (``BENCH_intern.json``) next to the pipeline-timings
+artifact so interning regressions are visible across commits.
+
+Usage::
+
+    python -m repro.bench.intern_bench [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.bench.report import print_table
+from repro.bench.workload import populated_theory, update_with_g_atoms
+from repro.core.gua import GuaExecutor
+from repro.logic.arena import ARENA
+from repro.logic.cnf import tseitin
+from repro.logic.syntax import Atom, Formula, Iff
+from repro.logic.terms import Predicate
+from repro.logic.transform import eliminate_conditionals
+
+IFF_DEPTHS = [5, 10, 15, 20]
+STREAM_LENGTH = 30
+THEORY_R = 100
+
+
+def _nested_iff(depth: int) -> Formula:
+    """``(...((a0 <-> a1) <-> a2) ... <-> a_depth)`` — the blowup shape."""
+    predicate = Predicate("N", 1)
+    formula: Formula = Atom(predicate("a0"))
+    for i in range(1, depth + 1):
+        formula = Iff(formula, Atom(predicate(f"a{i}")))
+    return formula
+
+
+def _dag_nodes(formula: Formula) -> int:
+    """Distinct interned nodes reachable from *formula*."""
+    seen = set()
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(node.children())
+    return len(seen)
+
+
+def run_nested_iff_sweep() -> List[Dict]:
+    """Depth sweep: conditional elimination + Tseitin on nested Iff."""
+    rows: List[Dict] = []
+    for depth in IFF_DEPTHS:
+        formula = _nested_iff(depth)
+        start = time.perf_counter()
+        eliminated = eliminate_conditionals(formula)
+        encoded = tseitin(eliminated, prefix=f"@ib{depth}_")
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "depth": depth,
+                "tree_size": eliminated.size(),
+                "dag_nodes": _dag_nodes(eliminated),
+                "clauses": len(encoded.clauses),
+                "seconds": seconds,
+            }
+        )
+    return rows
+
+
+def run_update_query_alternation() -> Dict:
+    """The E13b stream, instrumented with arena hit/miss deltas."""
+    hits_before = ARENA.hits
+    misses_before = ARENA.misses
+
+    theory = populated_theory(THEORY_R)
+    executor = GuaExecutor(theory)
+    start = time.perf_counter()
+    for i in range(STREAM_LENGTH):
+        executor.apply(update_with_g_atoms(3, offset=10 * i))
+        theory.clauses()
+    seconds = time.perf_counter() - start
+
+    hits = ARENA.hits - hits_before
+    misses = ARENA.misses - misses_before
+    total = hits + misses
+    stats = theory.solver_statistics()
+    return {
+        "updates": STREAM_LENGTH,
+        "theory_r": THEORY_R,
+        "wffs": len(theory.formulas()),
+        "seconds": seconds,
+        "arena_hits": hits,
+        "arena_misses": misses,
+        "arena_hit_rate": round(hits / total, 4) if total else 0.0,
+        "tseitin_cache_hits": stats["tseitin_cache_hits"],
+        "tseitin_cache_misses": stats["tseitin_cache_misses"],
+    }
+
+
+def main(argv: List[str]) -> int:
+    output = argv[0] if argv else "BENCH_intern.json"
+
+    sweep = run_nested_iff_sweep()
+    print_table(
+        "intern: nested-Iff elimination + Tseitin (DAG sharing)",
+        ["depth", "tree size", "DAG nodes", "clauses", "seconds"],
+        [
+            [r["depth"], r["tree_size"], r["dag_nodes"], r["clauses"],
+             f"{r['seconds']:.4f}"]
+            for r in sweep
+        ],
+        note="tree size is O(2^d); DAG nodes and clauses must stay O(d)",
+    )
+
+    workload = run_update_query_alternation()
+    print_table(
+        "intern: E13b update/query alternation, arena traffic",
+        ["metric", "value"],
+        [[k, v] for k, v in workload.items()],
+        note="hit rate is the fraction of constructions served by interning",
+    )
+
+    payload = {
+        "format": "repro-bench-intern-v1",
+        "nested_iff": sweep,
+        "workload": workload,
+        "arena": ARENA.statistics(),
+    }
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

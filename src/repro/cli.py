@@ -12,7 +12,8 @@ Interactive commands (anything else is parsed as an LDML statement):
     .select <rel>     tuple membership with status
     .worlds [n]       list (up to n) alternative worlds
     .theory           print the theory with its derived axioms
-    .stats            engine statistics (theory sizes, SAT counters, caches)
+    .stats            engine statistics (theory sizes, SAT counters, caches,
+                      formula-arena interning counters)
     .trace            per-stage pipeline timings (last update + totals)
     .simplify         run the Section 4 simplifier
     .savepoint <name> / .rollback <name>

@@ -272,12 +272,16 @@ class Database:
     def statistics(self) -> Dict[str, float]:
         """Engine-wide health metrics: the backend's counters (theory sizes
         and ``sat_*``/``tseitin_cache_*`` for gua, ``log_*`` for the log
-        store, world counts for naive), ``updates_applied``, and the
-        pipeline tracer's per-stage ``pipeline_<stage>_calls`` /
-        ``pipeline_<stage>_seconds``."""
+        store, world counts for naive), ``updates_applied``, the pipeline
+        tracer's per-stage ``pipeline_<stage>_calls`` /
+        ``pipeline_<stage>_seconds``, and the formula arena's ``arena_*``
+        interning/memo counters (process-wide, shared by all databases)."""
+        from repro.logic.arena import ARENA
+
         stats: Dict[str, float] = dict(self.backend.statistics())
         stats["updates_applied"] = len(self.transactions.log)
         stats.update(self.tracer.statistics())
+        stats.update(ARENA.statistics())
         return stats
 
     def last_trace(self) -> Optional[UpdateTrace]:

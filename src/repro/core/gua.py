@@ -432,12 +432,13 @@ class GuaExecutor:
     @staticmethod
     def _is_conjunct(body: Formula, atom: GroundAtom) -> bool:
         """The paper's O(1)-per-test approximation: atom syntactically a
-        top-level conjunct of w (or w itself)."""
+        top-level conjunct of w (or w itself).  Atoms are interned, so the
+        comparisons are identity probes."""
         if isinstance(body, Atom):
-            return body.atom == atom
+            return body.atom is atom
         if isinstance(body, And):
             return any(
-                isinstance(op, Atom) and op.atom == atom for op in body.operands
+                isinstance(op, Atom) and op.atom is atom for op in body.operands
             )
         return False
 

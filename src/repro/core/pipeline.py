@@ -488,6 +488,13 @@ class UpdatePipeline:
         self.schema = schema
         self.auto_tag = auto_tag and schema is not None
         self.simplifier = simplifier
+        # Body -> tagged body, keyed by interned identity.  Grounded open
+        # updates and repeated workloads re-submit structurally identical
+        # bodies; hash-consing makes them the same object, so the tag stage
+        # becomes one dict probe.  Bounded: cleared when it outgrows the cap.
+        self._tag_memo: Dict[Formula, Formula] = {}
+
+    _TAG_MEMO_CAP = 1024
 
     # -- entry point ------------------------------------------------------------
 
@@ -589,12 +596,22 @@ class UpdatePipeline:
             )
         return NormalizedUpdate(kind=KIND_GROUND, original=parsed, ground=parsed)
 
+    def _tag_body(self, body: Formula) -> Formula:
+        """Memoized ``schema.tag_with_attributes`` over interned bodies."""
+        tagged = self._tag_memo.get(body)
+        if tagged is None:
+            tagged = self.schema.tag_with_attributes(body)
+            if len(self._tag_memo) >= self._TAG_MEMO_CAP:
+                self._tag_memo.clear()
+            self._tag_memo[body] = tagged
+        return tagged
+
     def tag_ground(self, update: GroundUpdate) -> GroundUpdate:
         """Tag one ground update (identity when tagging is off)."""
         if not self.auto_tag:
             return update
         insert = update.to_insert()
-        tagged_body = self.schema.tag_with_attributes(insert.body)
+        tagged_body = self._tag_body(insert.body)
         if tagged_body is insert.body:
             return insert
         return Insert(tagged_body, insert.where)
@@ -611,7 +628,7 @@ class UpdatePipeline:
             )
         tagged_set = SimultaneousInsert(
             [
-                (where, self.schema.tag_with_attributes(body))
+                (where, self._tag_body(body))
                 for where, body in normalized.simultaneous.pairs
             ]
         )

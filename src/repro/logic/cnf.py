@@ -62,25 +62,46 @@ def to_cnf(formula: Formula) -> CNF:
 
 
 def _cnf_of_nnf(formula: Formula) -> List[Clause]:
-    if isinstance(formula, Atom):
-        return [clause((formula.atom, True))]
-    if isinstance(formula, Not):
-        inner = formula.operand
-        assert isinstance(inner, Atom), "NNF guarantees negations sit on atoms"
-        return [clause((inner.atom, False))]
-    if isinstance(formula, And):
-        result: List[Clause] = []
-        for op in formula.operands:
-            result.extend(_cnf_of_nnf(op))
-        return result
-    if isinstance(formula, Or):
-        branches = [_cnf_of_nnf(op) for op in formula.operands]
-        result = []
-        for combo in itertools.product(*branches):
-            merged: Clause = frozenset().union(*combo)
-            result.append(merged)
-        return result
-    raise TypeError(f"unexpected node in NNF: {formula!r}")
+    """Distributive CNF, iterative post-order with a per-call DAG memo.
+
+    Interning makes shared NNF subformulas identical objects, so each
+    distinct node is converted exactly once; memoized clause lists are
+    shared (callers must not mutate them).
+    """
+    memo: Dict[Formula, List[Clause]] = {}
+    stack = [formula]
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        pending = [c for c in node.children() if c not in memo]
+        if pending:
+            stack.extend(reversed(pending))
+            continue
+        stack.pop()
+        if isinstance(node, Atom):
+            memo[node] = [clause((node.atom, True))]
+        elif isinstance(node, Not):
+            inner = node.operand
+            assert isinstance(inner, Atom), (
+                "NNF guarantees negations sit on atoms"
+            )
+            memo[node] = [clause((inner.atom, False))]
+        elif isinstance(node, And):
+            result: List[Clause] = []
+            for op in node.operands:
+                result.extend(memo[op])
+            memo[node] = result
+        elif isinstance(node, Or):
+            branches = [memo[op] for op in node.operands]
+            memo[node] = [
+                frozenset().union(*combo)
+                for combo in itertools.product(*branches)
+            ]
+        else:
+            raise TypeError(f"unexpected node in NNF: {node!r}")
+    return memo[formula]
 
 
 def _drop_subsumed(clauses: Sequence[Clause]) -> CNF:
@@ -149,6 +170,9 @@ def tseitin(
     counter = itertools.count()
     selectors: List[AtomLike] = []
     clauses: List[Clause] = []
+    # Per-call DAG memo: interned shared subformulas get one selector and
+    # one set of defining clauses no matter how many positions share them —
+    # this is what keeps e.g. eliminated nested-Iff towers linear.
     cache: Dict[Formula, Literal] = {}
 
     def fresh() -> AtomLike:
@@ -156,19 +180,35 @@ def tseitin(
         selectors.append(selector)
         return selector
 
-    def encode(node: Formula) -> Literal:
+    # Iterative post-order (children pushed reversed for the seed's
+    # left-to-right selector numbering); no recursion-depth ceiling.
+    stack = [nnf]
+    while stack:
+        node = stack[-1]
         if node in cache:
-            return cache[node]
+            stack.pop()
+            continue
         if isinstance(node, Atom):
-            lit: Literal = (node.atom, True)
-        elif isinstance(node, Not):
+            cache[node] = (node.atom, True)
+            stack.pop()
+            continue
+        if isinstance(node, Not):
             inner = node.operand
             assert isinstance(inner, Atom)
-            lit = (inner.atom, False)
-        elif isinstance(node, And):
-            parts = [encode(op) for op in node.operands]
-            sel = fresh()
-            lit = (sel, True)
+            cache[node] = (inner.atom, False)
+            stack.pop()
+            continue
+        if not isinstance(node, (And, Or)):
+            raise TypeError(f"unexpected node in NNF: {node!r}")
+        pending = [op for op in node.operands if op not in cache]
+        if pending:
+            stack.extend(reversed(pending))
+            continue
+        stack.pop()
+        parts = [cache[op] for op in node.operands]
+        sel = fresh()
+        cache[node] = (sel, True)
+        if isinstance(node, And):
             # sel -> each part  (and, if full, all parts -> sel)
             for part_atom, part_pol in parts:
                 clauses.append(clause((sel, False), (part_atom, part_pol)))
@@ -176,10 +216,7 @@ def tseitin(
                 clauses.append(
                     clause((sel, True), *[(a, not p) for a, p in parts])
                 )
-        elif isinstance(node, Or):
-            parts = [encode(op) for op in node.operands]
-            sel = fresh()
-            lit = (sel, True)
+        else:
             # sel -> some part  (and, if full, each part -> sel)
             clauses.append(clause((sel, False), *parts))
             if full:
@@ -187,12 +224,8 @@ def tseitin(
                     clauses.append(
                         clause((sel, True), (part_atom, not part_pol))
                     )
-        else:
-            raise TypeError(f"unexpected node in NNF: {node!r}")
-        cache[node] = lit
-        return lit
 
-    root = encode(nnf)
+    root = cache[nnf]
     clauses.append(clause(root))
     return TseitinResult(tuple(clauses), root, frozenset(selectors))
 

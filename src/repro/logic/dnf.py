@@ -12,7 +12,7 @@ INSERT semantics (enumerating the ways to make ``w`` true).
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
 from repro.logic.semantics import evaluate
 from repro.logic.syntax import (
@@ -54,25 +54,43 @@ def _contradictory(term: Term) -> bool:
 
 
 def _dnf_of_nnf(formula: Formula) -> List[Term]:
-    if isinstance(formula, Atom):
-        return [frozenset({(formula.atom, True)})]
-    if isinstance(formula, Not):
-        inner = formula.operand
-        assert isinstance(inner, Atom)
-        return [frozenset({(inner.atom, False)})]
-    if isinstance(formula, Or):
-        result: List[Term] = []
-        for op in formula.operands:
-            result.extend(_dnf_of_nnf(op))
-        return result
-    if isinstance(formula, And):
-        branches = [_dnf_of_nnf(op) for op in formula.operands]
-        result = []
-        for combo in itertools.product(*branches):
-            merged: Term = frozenset().union(*combo)
-            result.append(merged)
-        return result
-    raise TypeError(f"unexpected node in NNF: {formula!r}")
+    """Distributive DNF, iterative post-order with a per-call DAG memo.
+
+    The dual of :func:`repro.logic.cnf._cnf_of_nnf`: each distinct (interned)
+    node is converted once; memoized term lists are shared, never mutated.
+    """
+    memo: Dict[Formula, List[Term]] = {}
+    stack = [formula]
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        pending = [c for c in node.children() if c not in memo]
+        if pending:
+            stack.extend(reversed(pending))
+            continue
+        stack.pop()
+        if isinstance(node, Atom):
+            memo[node] = [frozenset({(node.atom, True)})]
+        elif isinstance(node, Not):
+            inner = node.operand
+            assert isinstance(inner, Atom)
+            memo[node] = [frozenset({(inner.atom, False)})]
+        elif isinstance(node, Or):
+            result: List[Term] = []
+            for op in node.operands:
+                result.extend(memo[op])
+            memo[node] = result
+        elif isinstance(node, And):
+            branches = [memo[op] for op in node.operands]
+            memo[node] = [
+                frozenset().union(*combo)
+                for combo in itertools.product(*branches)
+            ]
+        else:
+            raise TypeError(f"unexpected node in NNF: {node!r}")
+    return memo[formula]
 
 
 def _drop_subsumed_terms(terms: List[Term]) -> DNF:

@@ -1,4 +1,4 @@
-"""Recursive-descent parser for ground formulas.
+"""Parser for ground formulas: iterative shunting-yard over the grammar.
 
 Grammar (tightest binding first)::
 
@@ -20,11 +20,15 @@ aliases so examples can be pasted verbatim.
 
 The parser is total over its grammar: any failure raises
 :class:`repro.errors.ParseError` with the offset of the offending token.
+Connective parsing runs an explicit operator stack (shunting-yard), not
+recursive descent, so nesting depth is bounded by memory, never by the
+interpreter's recursion limit.
 """
 
 from __future__ import annotations
 
 import re
+from collections import deque
 from typing import List, NamedTuple, Optional
 
 from repro.errors import ParseError
@@ -83,6 +87,30 @@ def tokenize(text: str) -> List[Token]:
     return tokens
 
 
+class _Chain:
+    """A pending n-ary And/Or run on the parser's output stack.
+
+    Holds the operands of one same-connective chain in written order; the
+    actual (interned) node is built once, when the chain is consumed as an
+    operand or returned.  Deque ends absorb both associativity directions
+    in O(1).
+    """
+
+    __slots__ = ("kind", "items")
+
+    def __init__(self, kind: str, left: Formula, right: Formula):
+        self.kind = kind
+        self.items = deque((left, right))
+
+
+def _materialize(value) -> Formula:
+    """Collapse a pending chain into its n-ary node (identity on formulas)."""
+    if isinstance(value, _Chain):
+        cls = And if value.kind == "AND" else Or
+        return cls(tuple(value.items))
+    return value
+
+
 class _Parser:
     """Stateful cursor over the token list; one instance per parse call."""
 
@@ -118,64 +146,121 @@ class _Parser:
         return token is not None and token.kind == kind
 
     # -- grammar -------------------------------------------------------------
+    #
+    # The binary connectives are parsed by an iterative shunting-yard loop
+    # (operator stack + output stack) instead of recursive descent, so a
+    # 10,000-deep parenthesized formula parses without touching the
+    # interpreter's recursion limit.  Binary reductions build 2-operand
+    # And/Or nodes; the constructors' associativity flattening reproduces
+    # the n-ary shapes the recursive grammar produced.
+
+    #: Precedence, loosest first; NOT (prefix) binds tighter than all.
+    _BINARY_PREC = {"IFF": 1, "IMPLIES": 2, "OR": 3, "AND": 4}
+    _NOT_PREC = 5
 
     def parse_formula(self) -> Formula:
-        return self.parse_iff()
+        output: List = []  # Formula and _Chain entries
+        ops: List[Token] = []  # NOT / LPAREN / binary operator tokens
+        open_parens = 0
+        expect_operand = True
+        while True:
+            token = self.peek()
+            if expect_operand:
+                if token is None:
+                    raise ParseError(
+                        "unexpected end of input", self.text, len(self.text)
+                    )
+                if token.kind == "NOT":
+                    self.advance()
+                    ops.append(token)
+                    continue
+                if token.kind == "LPAREN":
+                    self.advance()
+                    ops.append(token)
+                    open_parens += 1
+                    continue
+                if token.kind == "IDENT":
+                    output.append(self.parse_atom_or_truth())
+                    expect_operand = False
+                    continue
+                raise ParseError(
+                    f"expected a formula, found {token.value!r}",
+                    self.text,
+                    token.position,
+                )
+            if token is not None and token.kind == "RPAREN" and open_parens:
+                self.advance()
+                while ops[-1].kind != "LPAREN":
+                    self._reduce(ops.pop(), output)
+                ops.pop()
+                open_parens -= 1
+                continue
+            if token is not None and token.kind in self._BINARY_PREC:
+                prec = self._BINARY_PREC[token.kind]
+                # IMPLIES is right-associative: equal precedence stays on
+                # the stack.  IFF/OR/AND reduce left-to-right.
+                right_assoc = token.kind == "IMPLIES"
+                while ops and ops[-1].kind != "LPAREN":
+                    top = ops[-1]
+                    top_prec = (
+                        self._NOT_PREC
+                        if top.kind == "NOT"
+                        else self._BINARY_PREC[top.kind]
+                    )
+                    if top_prec > prec or (top_prec == prec and not right_assoc):
+                        self._reduce(ops.pop(), output)
+                    else:
+                        break
+                self.advance()
+                ops.append(token)
+                expect_operand = True
+                continue
+            # End of this formula: EOF, an unmatched ')', or trailing junk —
+            # the caller's finish() reports whatever token is left.
+            break
+        while ops:
+            op = ops.pop()
+            if op.kind == "LPAREN":
+                raise ParseError(
+                    "expected RPAREN, found 'end of input'",
+                    self.text,
+                    len(self.text),
+                )
+            self._reduce(op, output)
+        return _materialize(output[0])
 
-    def parse_iff(self) -> Formula:
-        left = self.parse_implies()
-        while self.at("IFF"):
-            self.advance()
-            right = self.parse_implies()
-            left = Iff(left, right)
-        return left
+    def _reduce(self, op: Token, output: List) -> None:
+        """Pop one operator's operands off *output* and push its node.
 
-    def parse_implies(self) -> Formula:
-        left = self.parse_or()
-        if self.at("IMPLIES"):
-            self.advance()
-            right = self.parse_implies()  # right-associative
-            return Implies(left, right)
-        return left
-
-    def parse_or(self) -> Formula:
-        operands = [self.parse_and()]
-        while self.at("OR"):
-            self.advance()
-            operands.append(self.parse_and())
-        if len(operands) == 1:
-            return operands[0]
-        return Or(operands)
-
-    def parse_and(self) -> Formula:
-        operands = [self.parse_unary()]
-        while self.at("AND"):
-            self.advance()
-            operands.append(self.parse_unary())
-        if len(operands) == 1:
-            return operands[0]
-        return And(operands)
-
-    def parse_unary(self) -> Formula:
-        if self.at("NOT"):
-            self.advance()
-            return Not(self.parse_unary())
-        return self.parse_primary()
-
-    def parse_primary(self) -> Formula:
-        token = self.peek()
-        if token is None:
-            raise ParseError("unexpected end of input", self.text, len(self.text))
-        if token.kind == "LPAREN":
-            self.advance()
-            inner = self.parse_formula()
-            self.expect("RPAREN")
-            return inner
-        if token.kind == "IDENT":
-            return self.parse_atom_or_truth()
-        raise ParseError(
-            f"expected a formula, found {token.value!r}", self.text, token.position
-        )
+        And/Or runs accumulate in a :class:`_Chain` (a deque of operands)
+        rather than nested nodes, so a k-element conjunction is built — and
+        interned — once as one n-ary node instead of k-1 times through the
+        constructor's flattening, keeping deeply parenthesized chains
+        linear-time.
+        """
+        if op.kind == "NOT":
+            output.append(Not(_materialize(output.pop())))
+            return
+        right = output.pop()
+        left = output.pop()
+        if op.kind in ("AND", "OR"):
+            if isinstance(left, _Chain) and left.kind == op.kind:
+                if isinstance(right, _Chain) and right.kind == op.kind:
+                    left.items.extend(right.items)
+                else:
+                    left.items.append(_materialize(right))
+                output.append(left)
+            elif isinstance(right, _Chain) and right.kind == op.kind:
+                right.items.appendleft(_materialize(left))
+                output.append(right)
+            else:
+                output.append(
+                    _Chain(op.kind, _materialize(left), _materialize(right))
+                )
+        elif op.kind == "IMPLIES":
+            output.append(Implies(_materialize(left), _materialize(right)))
+        else:
+            output.append(Iff(_materialize(left), _materialize(right)))
 
     def parse_atom_or_truth(self) -> Formula:
         name_token = self.expect("IDENT")
@@ -230,14 +315,7 @@ def parse(text: str) -> Formula:
     <Formula Orders(700,32,9) & !InStock(32,1)>
     """
     parser = _Parser(text)
-    try:
-        formula = parser.parse_formula()
-    except RecursionError:
-        raise ParseError(
-            "formula too deeply nested for the recursive-descent parser",
-            text,
-            0,
-        ) from None
+    formula = parser.parse_formula()
     parser.finish()
     return formula
 

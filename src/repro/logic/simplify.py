@@ -25,7 +25,7 @@ Rules applied to fixpoint (cheap, syntactic):
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.logic.cnf import cnf_to_formula, to_cnf
 from repro.logic.dnf import to_dnf
@@ -73,11 +73,43 @@ def simplify(formula: Formula, *, semantic: bool = True) -> Formula:
 
 
 def _syntactic_pass(formula: Formula) -> Formula:
-    formula = fold_constants(formula)
-    if isinstance(formula, (Top, Bottom, Atom)):
-        return formula
-    if isinstance(formula, Not):
-        inner = _syntactic_pass(formula.operand)
+    """One bottom-up rewrite sweep, iterative with a per-call DAG memo.
+
+    Each node is folded, its (folded) children simplified once — interning
+    makes shared subformulas the same object, so the memo collapses repeated
+    work — then the local rules (idempotence, complementation, absorption)
+    apply to the rebuilt node.
+    """
+    memo: Dict[Formula, Formula] = {}
+    stack = [formula]
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        folded = fold_constants(node)
+        if folded is not node and folded in memo:
+            memo[node] = memo[folded]
+            stack.pop()
+            continue
+        pending = [c for c in folded.children() if c not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        result = _simplify_node(folded, memo)
+        memo[folded] = result
+        if node is not folded:
+            memo[node] = result
+    return memo[formula]
+
+
+def _simplify_node(node: Formula, memo: Dict[Formula, Formula]) -> Formula:
+    """Apply the local rules to one folded node whose children are in *memo*."""
+    if isinstance(node, (Top, Bottom, Atom)):
+        return node
+    if isinstance(node, Not):
+        inner = memo[node.operand]
         if isinstance(inner, Not):
             return inner.operand
         if isinstance(inner, Top):
@@ -85,27 +117,27 @@ def _syntactic_pass(formula: Formula) -> Formula:
         if isinstance(inner, Bottom):
             return TRUE
         return Not(inner)
-    if isinstance(formula, And):
-        return _simplify_nary(formula, is_and=True)
-    if isinstance(formula, Or):
-        return _simplify_nary(formula, is_and=False)
-    if isinstance(formula, Implies):
-        antecedent = _syntactic_pass(formula.antecedent)
-        consequent = _syntactic_pass(formula.consequent)
+    if isinstance(node, And):
+        return _simplify_nary(node, memo, is_and=True)
+    if isinstance(node, Or):
+        return _simplify_nary(node, memo, is_and=False)
+    if isinstance(node, Implies):
+        antecedent = memo[node.antecedent]
+        consequent = memo[node.consequent]
         if antecedent == consequent:
             return TRUE
         if _complementary(antecedent, consequent):
             return fold_constants(Not(antecedent))
         return fold_constants(Implies(antecedent, consequent))
-    if isinstance(formula, Iff):
-        left = _syntactic_pass(formula.left)
-        right = _syntactic_pass(formula.right)
+    if isinstance(node, Iff):
+        left = memo[node.left]
+        right = memo[node.right]
         if left == right:
             return TRUE
         if _complementary(left, right):
             return FALSE
         return fold_constants(Iff(left, right))
-    raise TypeError(f"unknown formula node {formula!r}")
+    raise TypeError(f"unknown formula node {node!r}")
 
 
 def _complementary(left: Formula, right: Formula) -> bool:
@@ -114,11 +146,13 @@ def _complementary(left: Formula, right: Formula) -> bool:
     )
 
 
-def _simplify_nary(formula: Formula, *, is_and: bool) -> Formula:
+def _simplify_nary(
+    formula: Formula, memo: Dict[Formula, Formula], *, is_and: bool
+) -> Formula:
     operands: List[Formula] = []
     seen = set()
     for op in formula.operands:
-        child = _syntactic_pass(op)
+        child = memo[op]
         if child in seen:  # idempotence
             continue
         seen.add(child)

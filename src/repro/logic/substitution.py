@@ -20,13 +20,11 @@ from repro.errors import ReproError
 from repro.logic.syntax import (
     And,
     Atom,
-    Bottom,
     Formula,
     Iff,
     Implies,
     Not,
     Or,
-    Top,
 )
 from repro.logic.terms import AtomLike, is_atom
 
@@ -34,7 +32,7 @@ from repro.logic.terms import AtomLike, is_atom
 class GroundSubstitution(Mapping[AtomLike, AtomLike]):
     """An immutable atom-to-atom substitution ``{f1 -> p1, f2 -> p2, ...}``."""
 
-    __slots__ = ("_mapping",)
+    __slots__ = ("_mapping", "_memo")
 
     def __init__(self, mapping: Mapping[AtomLike, AtomLike] = ()):
         pairs: Dict[AtomLike, AtomLike] = dict(mapping)
@@ -45,6 +43,11 @@ class GroundSubstitution(Mapping[AtomLike, AtomLike]):
                     f"got {source!r} -> {target!r}"
                 )
         object.__setattr__(self, "_mapping", pairs)
+        # Formula -> rewritten formula, keyed by interned identity.  GUA
+        # applies the same sigma to the update body in Steps 3 and 4 (and to
+        # every conjunct pair in simultaneous updates); the memo makes every
+        # repeat application O(1).
+        object.__setattr__(self, "_memo", {})
 
     def __setattr__(self, key, value):
         raise AttributeError("GroundSubstitution is immutable")
@@ -71,29 +74,48 @@ class GroundSubstitution(Mapping[AtomLike, AtomLike]):
         """
         if not self._mapping:
             return formula
-        if not (formula.atoms() & self._mapping.keys()):
-            return formula
-        return self._rewrite(formula)
-
-    def _rewrite(self, formula: Formula) -> Formula:
-        if isinstance(formula, (Top, Bottom)):
-            return formula
-        if isinstance(formula, Atom):
-            replacement = self._mapping.get(formula.atom)
-            return formula if replacement is None else Atom(replacement)
-        if isinstance(formula, Not):
-            return Not(self.apply(formula.operand))
-        if isinstance(formula, And):
-            return And(tuple(self.apply(op) for op in formula.operands))
-        if isinstance(formula, Or):
-            return Or(tuple(self.apply(op) for op in formula.operands))
-        if isinstance(formula, Implies):
-            return Implies(
-                self.apply(formula.antecedent), self.apply(formula.consequent)
-            )
-        if isinstance(formula, Iff):
-            return Iff(self.apply(formula.left), self.apply(formula.right))
-        raise TypeError(f"unknown formula node {formula!r}")
+        memo: Dict[Formula, Formula] = self._memo
+        cached = memo.get(formula)
+        if cached is not None:
+            return cached
+        # Iterative post-order over the shared DAG; subtrees disjoint from
+        # the mapping's sources are returned as-is (shared, not copied), so
+        # applying a substitution to a large theory only rebuilds the spine
+        # above actual occurrences.
+        stack = [formula]
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            if node.atoms().isdisjoint(self._mapping):
+                memo[node] = node
+                stack.pop()
+                continue
+            if isinstance(node, Atom):
+                memo[node] = Atom(self._mapping[node.atom])
+                stack.pop()
+                continue
+            pending = [c for c in node.children() if c not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            if isinstance(node, Not):
+                memo[node] = Not(memo[node.operand])
+            elif isinstance(node, And):
+                memo[node] = And(tuple(memo[op] for op in node.operands))
+            elif isinstance(node, Or):
+                memo[node] = Or(tuple(memo[op] for op in node.operands))
+            elif isinstance(node, Implies):
+                memo[node] = Implies(
+                    memo[node.antecedent], memo[node.consequent]
+                )
+            elif isinstance(node, Iff):
+                memo[node] = Iff(memo[node.left], memo[node.right])
+            else:
+                raise TypeError(f"unknown formula node {node!r}")
+        return memo[formula]
 
     # -- algebra ---------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Formula AST for ground well-formed formulas over L.
+"""Formula AST for ground well-formed formulas over L, hash-consed.
 
 Non-axiomatic sections of extended relational theories contain arbitrary
 *ground* wffs: no variables, no equality (Section 2, item 3).  The AST here
@@ -6,18 +6,30 @@ therefore covers the propositional fragment over ground atoms and predicate
 constants, plus the truth values T and F, with connectives
 ``not, and, or, ->, <->`` (Section 2, item 5).
 
-Formulas are immutable and hashable.  Structural equality is syntactic —
-``a | b`` is not equal to ``b | a`` — because LDML semantics are deliberately
-syntax-sensitive ("one should not necessarily expect two updates with
-logically equivalent w to produce the same results", Section 3.2).  Logical
-equivalence lives in :mod:`repro.logic.entailment`.
+Formulas are immutable, hashable, and **interned** through the process-wide
+:data:`repro.logic.arena.ARENA`: every constructor first looks its node up
+in a weak-value table, so structurally identical formulas are the *same
+object*.  ``__eq__`` is therefore an identity test and ``__hash__`` a slot
+read; formulas form a DAG in which shared subformulas exist once, and the
+transform layer memoizes its passes per shared node.
+
+Structural equality remains syntactic — ``a | b`` is not equal to ``b | a``
+— because LDML semantics are deliberately syntax-sensitive ("one should not
+necessarily expect two updates with logically equivalent w to produce the
+same results", Section 3.2).  Interning merges byte-identical structure
+only; it never reorders or rewrites.  Logical equivalence lives in
+:mod:`repro.logic.entailment`.
 
 Python operator overloads build formulas fluently::
 
     f = Atom(a) & ~Atom(b) | TRUE
 
-Each node caches its atom set, so ``formula.atoms()`` is O(1) after the first
-call on a node; construction stays cheap.
+Each node caches its atom set and tree size, so ``formula.atoms()`` and
+``formula.size()`` are O(1) after the first call on a node; both are
+computed iteratively, so arbitrarily deep formulas never hit the recursion
+limit.  The ``_memo_*`` slots belong to :mod:`repro.logic.transform`, which
+stores per-node results of its DAG passes there (slot storage rather than a
+side table, so a memo entry lives exactly as long as its node).
 """
 
 from __future__ import annotations
@@ -25,7 +37,10 @@ from __future__ import annotations
 from typing import FrozenSet, Iterator, Sequence, Tuple
 
 from repro.errors import ReproError
+from repro.logic.arena import ARENA
 from repro.logic.terms import AtomLike, GroundAtom, PredicateConstant, is_atom
+
+_EMPTY_ATOMS: FrozenSet[AtomLike] = frozenset()
 
 
 class Formula:
@@ -33,9 +48,21 @@ class Formula:
 
     Subclasses are: :class:`Top`, :class:`Bottom`, :class:`Atom`,
     :class:`Not`, :class:`And`, :class:`Or`, :class:`Implies`, :class:`Iff`.
+    Instances are created through interning ``__new__`` constructors only;
+    two structurally identical nodes are one object.
     """
 
-    __slots__ = ("_atoms", "_hash")
+    __slots__ = (
+        "arena_id",
+        "_hash",
+        "_atoms",
+        "_size",
+        "_memo_elim",
+        "_memo_nnf_pos",
+        "_memo_nnf_neg",
+        "_memo_fold",
+        "__weakref__",
+    )
 
     # -- construction sugar -------------------------------------------------
 
@@ -57,12 +84,42 @@ class Formula:
     # -- structure ----------------------------------------------------------
 
     def atoms(self) -> FrozenSet[AtomLike]:
-        """All ground atoms and predicate constants occurring in the formula."""
+        """All ground atoms and predicate constants occurring in the formula.
+
+        Computed iteratively over the DAG (each shared node once) and cached
+        on every node visited, so repeated calls anywhere in a shared
+        structure are O(1).
+        """
         cached = getattr(self, "_atoms", None)
-        if cached is None:
-            cached = frozenset(self._collect_atoms())
-            object.__setattr__(self, "_atoms", cached)
-        return cached
+        if cached is not None:
+            return cached
+        stack = [self]
+        while stack:
+            node = stack[-1]
+            if getattr(node, "_atoms", None) is not None:
+                stack.pop()
+                continue
+            pending = [
+                child
+                for child in node.children()
+                if getattr(child, "_atoms", None) is None
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            object.__setattr__(node, "_atoms", node._own_atoms())
+        return self._atoms
+
+    def _own_atoms(self) -> FrozenSet[AtomLike]:
+        """Atom set of this node given cached child sets (leaves override)."""
+        sets = [child._atoms for child in self.children()]
+        nonempty = [s for s in sets if s]
+        if not nonempty:
+            return _EMPTY_ATOMS
+        if len(nonempty) == 1:
+            return nonempty[0]
+        return frozenset().union(*nonempty)
 
     def ground_atoms(self) -> FrozenSet[GroundAtom]:
         """Only the ground atoms of arity >= 1 (the externally visible part)."""
@@ -79,7 +136,9 @@ class Formula:
         return ()
 
     def walk(self) -> Iterator["Formula"]:
-        """Pre-order traversal of the formula tree."""
+        """Pre-order traversal of the formula *tree*: a node shared by many
+        positions is yielded once per position (tree semantics, as callers
+        that count occurrences expect)."""
         stack = [self]
         while stack:
             node = stack.pop()
@@ -87,27 +146,55 @@ class Formula:
             stack.extend(reversed(node.children()))
 
     def size(self) -> int:
-        """Number of nodes in the formula tree (a crude length measure)."""
-        return sum(1 for _ in self.walk())
+        """Number of nodes in the formula tree (a crude length measure).
 
-    def _collect_atoms(self) -> Iterator[AtomLike]:
-        for child in self.children():
-            yield from child.atoms()
+        Tree semantics over the shared DAG: ``1 +`` the sum of child sizes
+        per position, computed arithmetically in one pass over the distinct
+        nodes and cached, so even exponentially-shared formulas answer fast.
+        """
+        cached = getattr(self, "_size", None)
+        if cached is not None:
+            return cached
+        stack = [self]
+        while stack:
+            node = stack[-1]
+            if getattr(node, "_size", None) is not None:
+                stack.pop()
+                continue
+            pending = [
+                child
+                for child in node.children()
+                if getattr(child, "_size", None) is None
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            object.__setattr__(
+                node, "_size", 1 + sum(c._size for c in node.children())
+            )
+        return self._size
 
     # -- identity -----------------------------------------------------------
 
-    def _key(self) -> tuple:
-        raise NotImplementedError
-
     def __eq__(self, other) -> bool:
-        return type(self) is type(other) and self._key() == other._key()
+        # Interning guarantees structural equality == identity.
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
 
     def __hash__(self) -> int:
-        cached = getattr(self, "_hash", None)
-        if cached is None:
-            cached = hash((type(self).__name__, self._key()))
-            object.__setattr__(self, "_hash", cached)
-        return cached
+        return self._hash
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Formula nodes are immutable")
+
+    def __copy__(self) -> "Formula":
+        return self
+
+    def __deepcopy__(self, memo) -> "Formula":
+        return self
 
     def __repr__(self) -> str:
         from repro.logic.printer import to_text
@@ -118,6 +205,29 @@ class Formula:
         from repro.logic.printer import to_text
 
         return to_text(self)
+
+
+def _intern(cls, key, attrs) -> "Formula":
+    """Look *key* up in the arena table for *cls*; allocate on first sight.
+
+    ``attrs`` is a tuple of ``(slot_name, value)`` pairs set on a fresh
+    node.  The structural hash is derived from the class name and key, and
+    ``arena_id`` is a stable process-unique integer upper layers may use as
+    a cache key.
+    """
+    table = ARENA.table(cls.__name__)
+    existing = table.get(key)
+    if existing is not None:
+        ARENA.hits += 1
+        return existing
+    ARENA.misses += 1
+    node = object.__new__(cls)
+    for name, value in attrs:
+        object.__setattr__(node, name, value)
+    object.__setattr__(node, "arena_id", ARENA.next_id())
+    object.__setattr__(node, "_hash", hash((cls.__name__, key)))
+    table[key] = node
+    return node
 
 
 def _as_formula(value) -> Formula:
@@ -133,8 +243,11 @@ class Top(Formula):
 
     __slots__ = ()
 
-    def _key(self) -> tuple:
-        return ()
+    def __new__(cls):
+        return _intern(cls, (), ())
+
+    def __reduce__(self):
+        return (Top, ())
 
 
 class Bottom(Formula):
@@ -142,11 +255,14 @@ class Bottom(Formula):
 
     __slots__ = ()
 
-    def _key(self) -> tuple:
-        return ()
+    def __new__(cls):
+        return _intern(cls, (), ())
+
+    def __reduce__(self):
+        return (Bottom, ())
 
 
-#: Canonical instances; Top()/Bottom() compare equal to these anyway.
+#: Canonical instances; interning makes Top()/Bottom() *be* these.
 TRUE = Top()
 FALSE = Bottom()
 
@@ -156,16 +272,16 @@ class Atom(Formula):
 
     __slots__ = ("atom",)
 
-    def __init__(self, atom: AtomLike):
+    def __new__(cls, atom: AtomLike):
         if not is_atom(atom):
             raise ReproError(f"Atom() requires a ground atom, got {atom!r}")
-        object.__setattr__(self, "atom", atom)
+        return _intern(cls, atom, (("atom", atom),))
 
-    def _key(self) -> tuple:
-        return (self.atom,)
+    def __reduce__(self):
+        return (Atom, (self.atom,))
 
-    def _collect_atoms(self) -> Iterator[AtomLike]:
-        yield self.atom
+    def _own_atoms(self) -> FrozenSet[AtomLike]:
+        return frozenset((self.atom,))
 
 
 class Not(Formula):
@@ -173,13 +289,14 @@ class Not(Formula):
 
     __slots__ = ("operand",)
 
-    def __init__(self, operand: Formula):
-        object.__setattr__(self, "operand", _as_formula(operand))
+    def __new__(cls, operand: Formula):
+        operand = _as_formula(operand)
+        return _intern(cls, operand, (("operand", operand),))
+
+    def __reduce__(self):
+        return (Not, (self.operand,))
 
     def children(self) -> Tuple[Formula, ...]:
-        return (self.operand,)
-
-    def _key(self) -> tuple:
         return (self.operand,)
 
 
@@ -194,24 +311,25 @@ class _Nary(Formula):
 
     __slots__ = ("operands",)
 
-    def __init__(self, operands: Sequence[Formula]):
+    def __new__(cls, operands: Sequence[Formula]):
         flat = []
         for op in operands:
             op = _as_formula(op)
-            if type(op) is type(self):
+            if type(op) is cls:
                 flat.extend(op.operands)
             else:
                 flat.append(op)
         if len(flat) < 2:
             raise ReproError(
-                f"{type(self).__name__} needs at least 2 operands, got {len(flat)}"
+                f"{cls.__name__} needs at least 2 operands, got {len(flat)}"
             )
-        object.__setattr__(self, "operands", tuple(flat))
+        key = tuple(flat)
+        return _intern(cls, key, (("operands", key),))
+
+    def __reduce__(self):
+        return (type(self), (self.operands,))
 
     def children(self) -> Tuple[Formula, ...]:
-        return self.operands
-
-    def _key(self) -> tuple:
         return self.operands
 
 
@@ -232,14 +350,19 @@ class Implies(Formula):
 
     __slots__ = ("antecedent", "consequent")
 
-    def __init__(self, antecedent: Formula, consequent: Formula):
-        object.__setattr__(self, "antecedent", _as_formula(antecedent))
-        object.__setattr__(self, "consequent", _as_formula(consequent))
+    def __new__(cls, antecedent: Formula, consequent: Formula):
+        antecedent = _as_formula(antecedent)
+        consequent = _as_formula(consequent)
+        return _intern(
+            cls,
+            (antecedent, consequent),
+            (("antecedent", antecedent), ("consequent", consequent)),
+        )
+
+    def __reduce__(self):
+        return (Implies, (self.antecedent, self.consequent))
 
     def children(self) -> Tuple[Formula, ...]:
-        return (self.antecedent, self.consequent)
-
-    def _key(self) -> tuple:
         return (self.antecedent, self.consequent)
 
 
@@ -248,14 +371,17 @@ class Iff(Formula):
 
     __slots__ = ("left", "right")
 
-    def __init__(self, left: Formula, right: Formula):
-        object.__setattr__(self, "left", _as_formula(left))
-        object.__setattr__(self, "right", _as_formula(right))
+    def __new__(cls, left: Formula, right: Formula):
+        left = _as_formula(left)
+        right = _as_formula(right)
+        return _intern(
+            cls, (left, right), (("left", left), ("right", right))
+        )
+
+    def __reduce__(self):
+        return (Iff, (self.left, self.right))
 
     def children(self) -> Tuple[Formula, ...]:
-        return (self.left, self.right)
-
-    def _key(self) -> tuple:
         return (self.left, self.right)
 
 

@@ -13,7 +13,13 @@ Two kinds of *atom* can appear in a formula:
 * :class:`PredicateConstant` -- a 0-ary predicate such as the fresh symbols
   introduced by Step 2 of algorithm GUA; never visible to queries.
 
-Both support a total order (used by indexes and deterministic printing) and
+All four types are hash-consed through :data:`repro.logic.arena.ARENA`:
+``Constant("a") is Constant("a")`` holds, equality short-circuits on
+identity, and hashes are precomputed at interning time.  ``copy``/``pickle``
+round-trips re-enter the interning constructor via ``__reduce__``, so
+identity semantics survive serialization within a process.
+
+All support a total order (used by indexes and deterministic printing) and
 cheap hashing (used pervasively by valuations and substitutions).
 """
 
@@ -24,9 +30,11 @@ from functools import total_ordering
 from typing import Iterable, Tuple, Union
 
 from repro.errors import LanguageError
+from repro.logic.arena import ARENA
 
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_']*\Z")
 _NUMBER_RE = re.compile(r"-?\d+\Z")
+_PC_RE = re.compile(r"@?[A-Za-z_][A-Za-z0-9_']*\Z")
 
 
 def _check_symbol(name: str, kind: str) -> str:
@@ -47,21 +55,34 @@ class Constant:
 
     Constants compare by name only.  The unique name axioms of every extended
     relational theory guarantee that distinct names denote distinct elements,
-    so name identity *is* semantic identity.
+    so name identity *is* semantic identity — and interning makes it object
+    identity too.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash", "__weakref__")
 
-    def __init__(self, name: Union[str, int]):
+    def __new__(cls, name: Union[str, int]):
         if isinstance(name, int):
             name = str(name)
+        # Per-class tables so subclasses (e.g. SkolemConstant) never alias
+        # a plain Constant of the same name.
+        table = ARENA.table(cls.__name__)
+        existing = table.get(name)
+        if existing is not None:
+            ARENA.hits += 1
+            return existing
         _check_symbol(name, "constant")
         plain = bool(_IDENT_RE.match(name) or _NUMBER_RE.match(name))
         if not plain and any(ch in name for ch in "'\"(),\n"):
             # Non-identifier names are printed quoted, so they may not
             # contain quote or structural characters themselves.
             raise LanguageError(f"invalid constant name {name!r}")
+        ARENA.misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Constant", name)))
+        table[name] = self
+        return self
 
     @property
     def needs_quoting(self) -> bool:
@@ -71,8 +92,13 @@ class Constant:
     def __setattr__(self, key, value):
         raise AttributeError("Constant is immutable")
 
+    def __reduce__(self):
+        return (type(self), (self.name,))
+
     def __eq__(self, other) -> bool:
-        return isinstance(other, Constant) and self.name == other.name
+        return self is other or (
+            isinstance(other, Constant) and self.name == other.name
+        )
 
     def __lt__(self, other) -> bool:
         if not isinstance(other, Constant):
@@ -80,7 +106,7 @@ class Constant:
         return self.name < other.name
 
     def __hash__(self) -> int:
-        return hash(("Constant", self.name))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Constant({self.name!r})"
@@ -95,9 +121,14 @@ class Constant:
 class Predicate:
     """A predicate symbol of arity >= 1 (a database relation or attribute)."""
 
-    __slots__ = ("name", "arity")
+    __slots__ = ("name", "arity", "_hash", "__weakref__")
 
-    def __init__(self, name: str, arity: int):
+    def __new__(cls, name: str, arity: int):
+        table = ARENA.table("Predicate")
+        existing = table.get((name, arity))
+        if existing is not None:
+            ARENA.hits += 1
+            return existing
         _check_symbol(name, "predicate")
         if not _IDENT_RE.match(name):
             raise LanguageError(f"invalid predicate name {name!r}")
@@ -106,18 +137,26 @@ class Predicate:
                 f"predicate arity must be an integer >= 1, got {arity!r} "
                 "(0-ary predicates are PredicateConstant)"
             )
+        ARENA.misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "arity", arity)
+        object.__setattr__(self, "_hash", hash(("Predicate", name, arity)))
+        table[(name, arity)] = self
+        return self
 
     def __setattr__(self, key, value):
         raise AttributeError("Predicate is immutable")
+
+    def __reduce__(self):
+        return (Predicate, (self.name, self.arity))
 
     def __call__(self, *args: Union[Constant, str, int]) -> "GroundAtom":
         """Build a ground atom: ``Orders(700, 32, 9)`` reads like the paper."""
         return GroundAtom(self, tuple(as_constant(a) for a in args))
 
     def __eq__(self, other) -> bool:
-        return (
+        return self is other or (
             isinstance(other, Predicate)
             and self.name == other.name
             and self.arity == other.arity
@@ -129,7 +168,7 @@ class Predicate:
         return (self.name, self.arity) < (other.name, other.arity)
 
     def __hash__(self) -> int:
-        return hash(("Predicate", self.name, self.arity))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Predicate({self.name!r}, {self.arity})"
@@ -143,28 +182,40 @@ class GroundAtom:
     """A ground atomic formula ``P(c1, ..., cn)`` with n >= 1.
 
     These are the units whose truth valuations constitute an alternative
-    world.  They are immutable and hashable; ordering is lexicographic on
+    world.  They are interned and hashable; ordering is lexicographic on
     (predicate, args) which gives the deterministic iteration order the
     indexes rely on.
     """
 
-    __slots__ = ("predicate", "args", "_hash")
+    __slots__ = ("predicate", "args", "_hash", "__weakref__")
 
-    def __init__(self, predicate: Predicate, args: Tuple[Constant, ...]):
+    def __new__(cls, predicate: Predicate, args: Tuple[Constant, ...]):
         if not isinstance(predicate, Predicate):
             raise LanguageError(f"expected Predicate, got {predicate!r}")
         args = tuple(as_constant(a) for a in args)
+        table = ARENA.table("GroundAtom")
+        existing = table.get((predicate, args))
+        if existing is not None:
+            ARENA.hits += 1
+            return existing
         if len(args) != predicate.arity:
             raise LanguageError(
                 f"predicate {predicate} expects {predicate.arity} arguments, "
                 f"got {len(args)}"
             )
+        ARENA.misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "args", args)
         object.__setattr__(self, "_hash", hash(("GroundAtom", predicate, args)))
+        table[(predicate, args)] = self
+        return self
 
     def __setattr__(self, key, value):
         raise AttributeError("GroundAtom is immutable")
+
+    def __reduce__(self):
+        return (GroundAtom, (self.predicate, self.args))
 
     @property
     def is_predicate_constant(self) -> bool:
@@ -175,7 +226,7 @@ class GroundAtom:
         return self.args
 
     def __eq__(self, other) -> bool:
-        return (
+        return self is other or (
             isinstance(other, GroundAtom)
             and self._hash == other._hash
             and self.predicate == other.predicate
@@ -211,23 +262,38 @@ class PredicateConstant:
     because the paper allows predicate constants in stored wffs.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash", "__weakref__")
 
-    def __init__(self, name: str):
+    def __new__(cls, name: str):
+        table = ARENA.table("PredicateConstant")
+        existing = table.get(name)
+        if existing is not None:
+            ARENA.hits += 1
+            return existing
         _check_symbol(name, "predicate constant")
-        if not re.match(r"@?[A-Za-z_][A-Za-z0-9_']*\Z", name):
+        if not _PC_RE.match(name):
             raise LanguageError(f"invalid predicate constant name {name!r}")
+        ARENA.misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("PredicateConstant", name)))
+        table[name] = self
+        return self
 
     def __setattr__(self, key, value):
         raise AttributeError("PredicateConstant is immutable")
+
+    def __reduce__(self):
+        return (PredicateConstant, (self.name,))
 
     @property
     def is_predicate_constant(self) -> bool:
         return True
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, PredicateConstant) and self.name == other.name
+        return self is other or (
+            isinstance(other, PredicateConstant) and self.name == other.name
+        )
 
     def __lt__(self, other) -> bool:
         if isinstance(other, GroundAtom):
@@ -237,7 +303,7 @@ class PredicateConstant:
         return self.name < other.name
 
     def __hash__(self) -> int:
-        return hash(("PredicateConstant", self.name))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"PredicateConstant({self.name!r})"

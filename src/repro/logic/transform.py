@@ -6,12 +6,24 @@ logical equivalence (and therefore the alternative worlds of any theory whose
 non-axiomatic section they are applied to — see the closing remark of
 Section 3.4: world sets depend only on the logical content of the
 non-axiomatic section, not its syntax).
+
+Every pass here is an **iterative, memoized DAG pass** over the hash-consed
+formula arena: an explicit post-order work stack replaces recursion (so
+arbitrarily deep formulas never hit the interpreter's recursion limit), and
+results are cached per node — in the node's ``_memo_*`` slot for the
+argument-free passes (``eliminate_conditionals``, NNF, ``fold_constants``),
+in a per-call dict for parameterized ones.  Because interning makes shared
+subformulas the *same object*, a subformula occurring in many positions is
+transformed once; in particular a nested-``Iff`` tower, whose eliminated
+form duplicates both sides of every biconditional, stays polynomial because
+the duplicates are shared, not copied.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Set, Tuple
 
+from repro.logic.arena import ARENA
 from repro.logic.syntax import (
     FALSE,
     TRUE,
@@ -29,26 +41,58 @@ from repro.logic.syntax import (
 )
 from repro.logic.terms import AtomLike
 
+_set_slot = object.__setattr__
+
 
 def eliminate_conditionals(formula: Formula) -> Formula:
-    """Rewrite ``->`` and ``<->`` into and/or/not."""
-    if isinstance(formula, (Top, Bottom, Atom)):
-        return formula
-    if isinstance(formula, Not):
-        return Not(eliminate_conditionals(formula.operand))
-    if isinstance(formula, And):
-        return And(tuple(eliminate_conditionals(op) for op in formula.operands))
-    if isinstance(formula, Or):
-        return Or(tuple(eliminate_conditionals(op) for op in formula.operands))
-    if isinstance(formula, Implies):
-        antecedent = eliminate_conditionals(formula.antecedent)
-        consequent = eliminate_conditionals(formula.consequent)
-        return Or((Not(antecedent), consequent))
-    if isinstance(formula, Iff):
-        left = eliminate_conditionals(formula.left)
-        right = eliminate_conditionals(formula.right)
+    """Rewrite ``->`` and ``<->`` into and/or/not.
+
+    ``Iff(l, r)`` becomes ``(l & r) | (!l & !r)`` — both sides appear twice,
+    but as shared DAG nodes, so nesting biconditionals k deep yields O(k)
+    distinct nodes rather than O(2^k) tree nodes.
+    """
+    cached = getattr(formula, "_memo_elim", None)
+    if cached is not None:
+        ARENA.count_memo("elim", True)
+        return cached
+    stack = [formula]
+    while stack:
+        node = stack[-1]
+        if getattr(node, "_memo_elim", None) is not None:
+            ARENA.count_memo("elim", True)
+            stack.pop()
+            continue
+        pending = [
+            child
+            for child in node.children()
+            if getattr(child, "_memo_elim", None) is None
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        ARENA.count_memo("elim", False)
+        _set_slot(node, "_memo_elim", _eliminate_node(node))
+    return formula._memo_elim
+
+
+def _eliminate_node(node: Formula) -> Formula:
+    """Rebuild one node from its already-eliminated children."""
+    if isinstance(node, (Top, Bottom, Atom)):
+        return node
+    if isinstance(node, Not):
+        return Not(node.operand._memo_elim)
+    if isinstance(node, And):
+        return And(tuple(op._memo_elim for op in node.operands))
+    if isinstance(node, Or):
+        return Or(tuple(op._memo_elim for op in node.operands))
+    if isinstance(node, Implies):
+        return Or((Not(node.antecedent._memo_elim), node.consequent._memo_elim))
+    if isinstance(node, Iff):
+        left = node.left._memo_elim
+        right = node.right._memo_elim
         return Or((And((left, right)), And((Not(left), Not(right)))))
-    raise TypeError(f"unknown formula node {formula!r}")
+    raise TypeError(f"unknown formula node {node!r}")
 
 
 def to_nnf(formula: Formula) -> Formula:
@@ -56,22 +100,67 @@ def to_nnf(formula: Formula) -> Formula:
     return _nnf(eliminate_conditionals(formula), positive=True)
 
 
+_NNF_SLOTS = {True: "_memo_nnf_pos", False: "_memo_nnf_neg"}
+
+
 def _nnf(formula: Formula, positive: bool) -> Formula:
-    if isinstance(formula, Top):
+    """NNF of a conditional-free formula under a polarity, DAG-memoized.
+
+    Each (node, polarity) pair is converted once per process; the result
+    lives in the node's ``_memo_nnf_pos``/``_memo_nnf_neg`` slot.
+    """
+    cached = getattr(formula, _NNF_SLOTS[positive], None)
+    if cached is not None:
+        ARENA.count_memo("nnf", True)
+        return cached
+    stack = [(formula, positive)]
+    while stack:
+        node, pos = stack[-1]
+        slot = _NNF_SLOTS[pos]
+        if getattr(node, slot, None) is not None:
+            ARENA.count_memo("nnf", True)
+            stack.pop()
+            continue
+        pending = [
+            (child, child_pos)
+            for child, child_pos in _nnf_children(node, pos)
+            if getattr(child, _NNF_SLOTS[child_pos], None) is None
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        ARENA.count_memo("nnf", False)
+        _set_slot(node, slot, _nnf_node(node, pos))
+    return getattr(formula, _NNF_SLOTS[positive])
+
+
+def _nnf_children(node: Formula, positive: bool) -> Tuple:
+    if isinstance(node, Not):
+        return ((node.operand, not positive),)
+    if isinstance(node, (And, Or)):
+        return tuple((op, positive) for op in node.operands)
+    if isinstance(node, (Top, Bottom, Atom)):
+        return ()
+    raise TypeError(f"conditionals must be eliminated before NNF: {node!r}")
+
+
+def _nnf_node(node: Formula, positive: bool) -> Formula:
+    if isinstance(node, Top):
         return TRUE if positive else FALSE
-    if isinstance(formula, Bottom):
+    if isinstance(node, Bottom):
         return FALSE if positive else TRUE
-    if isinstance(formula, Atom):
-        return formula if positive else Not(formula)
-    if isinstance(formula, Not):
-        return _nnf(formula.operand, not positive)
-    if isinstance(formula, And):
-        parts = tuple(_nnf(op, positive) for op in formula.operands)
+    if isinstance(node, Atom):
+        return node if positive else Not(node)
+    if isinstance(node, Not):
+        return getattr(node.operand, _NNF_SLOTS[not positive])
+    if isinstance(node, And):
+        parts = tuple(getattr(op, _NNF_SLOTS[positive]) for op in node.operands)
         return And(parts) if positive else Or(parts)
-    if isinstance(formula, Or):
-        parts = tuple(_nnf(op, positive) for op in formula.operands)
+    if isinstance(node, Or):
+        parts = tuple(getattr(op, _NNF_SLOTS[positive]) for op in node.operands)
         return Or(parts) if positive else And(parts)
-    raise TypeError(f"conditionals must be eliminated before NNF: {formula!r}")
+    raise TypeError(f"conditionals must be eliminated before NNF: {node!r}")
 
 
 def fold_constants(formula: Formula) -> Formula:
@@ -80,60 +169,96 @@ def fold_constants(formula: Formula) -> Formula:
     This is a *weak* simplifier (no logical reasoning beyond the unit laws);
     the heuristic minimizer in :mod:`repro.logic.simplify` builds on it.
     """
-    if isinstance(formula, (Top, Bottom, Atom)):
-        return formula
-    if isinstance(formula, Not):
-        inner = fold_constants(formula.operand)
-        if isinstance(inner, Top):
-            return FALSE
-        if isinstance(inner, Bottom):
-            return TRUE
-        if isinstance(inner, Not):
-            return inner.operand
-        return Not(inner)
-    if isinstance(formula, And):
+    cached = getattr(formula, "_memo_fold", None)
+    if cached is not None:
+        ARENA.count_memo("fold", True)
+        return cached
+    stack = [formula]
+    while stack:
+        node = stack[-1]
+        if getattr(node, "_memo_fold", None) is not None:
+            ARENA.count_memo("fold", True)
+            stack.pop()
+            continue
+        pending = [
+            child
+            for child in node.children()
+            if getattr(child, "_memo_fold", None) is None
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        ARENA.count_memo("fold", False)
+        folded = _fold_node(node)
+        _set_slot(node, "_memo_fold", folded)
+        # Folding is idempotent; pinning fold(folded) = folded lets chained
+        # passes (the simplifier re-folds its own output) hit immediately.
+        if getattr(folded, "_memo_fold", None) is None:
+            _set_slot(folded, "_memo_fold", folded)
+    return formula._memo_fold
+
+
+def _fold_not(inner: Formula) -> Formula:
+    """``Not`` of an already-folded operand, with the unit laws applied."""
+    if isinstance(inner, Top):
+        return FALSE
+    if isinstance(inner, Bottom):
+        return TRUE
+    if isinstance(inner, Not):
+        return inner.operand
+    return Not(inner)
+
+
+def _fold_node(node: Formula) -> Formula:
+    """Rebuild one node from its already-folded children."""
+    if isinstance(node, (Top, Bottom, Atom)):
+        return node
+    if isinstance(node, Not):
+        return _fold_not(node.operand._memo_fold)
+    if isinstance(node, And):
         kept = []
-        for op in formula.operands:
-            folded = fold_constants(op)
+        for op in node.operands:
+            folded = op._memo_fold
             if isinstance(folded, Bottom):
                 return FALSE
             if isinstance(folded, Top):
                 continue
             kept.append(folded)
         return conjoin(kept)
-    if isinstance(formula, Or):
+    if isinstance(node, Or):
         kept = []
-        for op in formula.operands:
-            folded = fold_constants(op)
+        for op in node.operands:
+            folded = op._memo_fold
             if isinstance(folded, Top):
                 return TRUE
             if isinstance(folded, Bottom):
                 continue
             kept.append(folded)
         return disjoin(kept)
-    if isinstance(formula, Implies):
-        antecedent = fold_constants(formula.antecedent)
-        consequent = fold_constants(formula.consequent)
+    if isinstance(node, Implies):
+        antecedent = node.antecedent._memo_fold
+        consequent = node.consequent._memo_fold
         if isinstance(antecedent, Bottom) or isinstance(consequent, Top):
             return TRUE
         if isinstance(antecedent, Top):
             return consequent
         if isinstance(consequent, Bottom):
-            return fold_constants(Not(antecedent))
+            return _fold_not(antecedent)
         return Implies(antecedent, consequent)
-    if isinstance(formula, Iff):
-        left = fold_constants(formula.left)
-        right = fold_constants(formula.right)
+    if isinstance(node, Iff):
+        left = node.left._memo_fold
+        right = node.right._memo_fold
         if isinstance(left, Top):
             return right
         if isinstance(right, Top):
             return left
         if isinstance(left, Bottom):
-            return fold_constants(Not(right))
+            return _fold_not(right)
         if isinstance(right, Bottom):
-            return fold_constants(Not(left))
+            return _fold_not(left)
         return Iff(left, right)
-    raise TypeError(f"unknown formula node {formula!r}")
+    raise TypeError(f"unknown formula node {node!r}")
 
 
 def condition(formula: Formula, assignment: Dict[AtomLike, bool]) -> Formula:
@@ -147,58 +272,72 @@ def condition(formula: Formula, assignment: Dict[AtomLike, bool]) -> Formula:
 
 
 def _substitute_truth(formula: Formula, assignment: Dict[AtomLike, bool]) -> Formula:
-    if isinstance(formula, (Top, Bottom)):
-        return formula
-    if isinstance(formula, Atom):
-        if formula.atom in assignment:
-            return TRUE if assignment[formula.atom] else FALSE
-        return formula
-    if isinstance(formula, Not):
-        return Not(_substitute_truth(formula.operand, assignment))
-    if isinstance(formula, And):
-        return And(tuple(_substitute_truth(op, assignment) for op in formula.operands))
-    if isinstance(formula, Or):
-        return Or(tuple(_substitute_truth(op, assignment) for op in formula.operands))
-    if isinstance(formula, Implies):
-        return Implies(
-            _substitute_truth(formula.antecedent, assignment),
-            _substitute_truth(formula.consequent, assignment),
-        )
-    if isinstance(formula, Iff):
-        return Iff(
-            _substitute_truth(formula.left, assignment),
-            _substitute_truth(formula.right, assignment),
-        )
-    raise TypeError(f"unknown formula node {formula!r}")
+    """Replace assigned atoms by T/F; untouched subtrees are returned as-is.
+
+    Per-call memo (the assignment parameterizes the result), pruned by the
+    cached atom sets: a subtree disjoint from the assignment maps to itself
+    without being entered.
+    """
+    memo: Dict[Formula, Formula] = {}
+    stack = [formula]
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        if node.atoms().isdisjoint(assignment):
+            memo[node] = node
+            stack.pop()
+            continue
+        if isinstance(node, Atom):
+            memo[node] = TRUE if assignment[node.atom] else FALSE
+            stack.pop()
+            continue
+        pending = [c for c in node.children() if c not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if isinstance(node, Not):
+            memo[node] = Not(memo[node.operand])
+        elif isinstance(node, And):
+            memo[node] = And(tuple(memo[op] for op in node.operands))
+        elif isinstance(node, Or):
+            memo[node] = Or(tuple(memo[op] for op in node.operands))
+        elif isinstance(node, Implies):
+            memo[node] = Implies(memo[node.antecedent], memo[node.consequent])
+        elif isinstance(node, Iff):
+            memo[node] = Iff(memo[node.left], memo[node.right])
+        else:
+            raise TypeError(f"unknown formula node {node!r}")
+    return memo[formula]
 
 
 def polarities(formula: Formula) -> Dict[AtomLike, Set[bool]]:
     """Map each atom to the set of polarities it occurs with in NNF.
 
     ``{a: {True}}`` means *a* occurs only positively; pure-polarity atoms can
-    be fixed without losing satisfiability (pure literal rule).
+    be fixed without losing satisfiability (pure literal rule).  Worklist
+    over distinct (node, polarity) pairs, so shared subformulas are visited
+    once per polarity.
     """
     result: Dict[AtomLike, Set[bool]] = {}
-    _collect_polarities(to_nnf(formula), True, result)
+    seen: Set[Tuple[Formula, bool]] = set()
+    stack = [(to_nnf(formula), True)]
+    while stack:
+        node, positive = stack.pop()
+        if (node, positive) in seen:
+            continue
+        seen.add((node, positive))
+        if isinstance(node, Atom):
+            result.setdefault(node.atom, set()).add(positive)
+        elif isinstance(node, Not):
+            stack.append((node.operand, not positive))
+        elif isinstance(node, (And, Or)):
+            stack.extend((op, positive) for op in node.operands)
+        elif not isinstance(node, (Top, Bottom)):
+            raise TypeError(f"unexpected node in NNF: {node!r}")
     return result
-
-
-def _collect_polarities(
-    formula: Formula, positive: bool, result: Dict[AtomLike, Set[bool]]
-) -> None:
-    if isinstance(formula, Atom):
-        result.setdefault(formula.atom, set()).add(positive)
-        return
-    if isinstance(formula, Not):
-        _collect_polarities(formula.operand, not positive, result)
-        return
-    if isinstance(formula, (And, Or)):
-        for op in formula.operands:
-            _collect_polarities(op, positive, result)
-        return
-    if isinstance(formula, (Top, Bottom)):
-        return
-    raise TypeError(f"unexpected node in NNF: {formula!r}")
 
 
 def literal_of(formula: Formula) -> Tuple[AtomLike, bool]:

@@ -33,7 +33,7 @@ class CompletionAxiom:
     ``forall x1..xn !P(x1..xn)``.
     """
 
-    __slots__ = ("predicate", "disjuncts")
+    __slots__ = ("predicate", "disjuncts", "_allowed")
 
     def __init__(self, predicate: Predicate, disjuncts: Sequence[GroundAtom]):
         for atom in disjuncts:
@@ -43,17 +43,20 @@ class CompletionAxiom:
                 )
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "disjuncts", tuple(disjuncts))
+        # Atoms are interned, so this set does identity-fast hashing; built
+        # once here instead of per holds_in_world call.
+        object.__setattr__(self, "_allowed", frozenset(disjuncts))
 
     def __setattr__(self, key, value):
         raise AttributeError("CompletionAxiom is immutable")
 
     def permits(self, atom: GroundAtom) -> bool:
         """May *atom* be true in some model? (Is it a disjunct?)"""
-        return atom in self.disjuncts
+        return atom in self._allowed
 
     def holds_in_world(self, true_atoms: FrozenSet[GroundAtom]) -> bool:
         """No true atom of this predicate outside the disjunct list."""
-        allowed = set(self.disjuncts)
+        allowed = self._allowed
         return all(
             atom in allowed
             for atom in true_atoms

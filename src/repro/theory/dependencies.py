@@ -231,9 +231,10 @@ class TNot(THead):
 
     def instantiate(self, binding: Binding) -> Formula:
         inner = self.operand.instantiate(binding)
-        if inner == TRUE:
+        # Interning makes the truth constants singletons: identity suffices.
+        if inner is TRUE:
             return FALSE
-        if inner == FALSE:
+        if inner is FALSE:
             return TRUE
         return Not(inner)
 
@@ -430,9 +431,12 @@ class TemplateDependency:
 
     def _instance(self, binding: Binding) -> Optional[Formula]:
         head = self.head.instantiate(binding)
-        if head == TRUE:
+        if head is TRUE:
             return None  # trivially satisfied instance
         ground_body = [g.ground(binding) for g in self.body]
+        # Hash-consing guarantees equal bindings build the *same* instance
+        # object, which is what lets the theory's axiom-instance registry
+        # dedup across updates by arena node id.
         return Implies(conjoin([Atom(a) for a in ground_body]), head)
 
     @staticmethod

@@ -18,9 +18,17 @@ list"), so GUA Step 2's renaming of an atom to a fresh predicate constant is
 one cell assignment — O(1) — plus an O(log R) index move.  Per-predicate
 indexes use sorted containers to honour the O(log R) lookup model.
 
+Because formulas are hash-consed (see :mod:`repro.logic.arena`), structurally
+identical subformulas arrive as the *same object*; the store exploits this
+with a node memo keyed by formula identity, so shared subtrees are stored
+once and occurrence accounting is done by DAG multiplicity arithmetic rather
+than tree walks.  Occurrence counts remain *per leaf position* — fifty
+conjuncts ``P(a)`` still count as fifty occurrences — matching the paper's
+linked-occurrence-list length.
+
 Materializing back to immutable :class:`~repro.logic.syntax.Formula` values
-walks the stored tree and reads the cells, and is only done at API
-boundaries (world enumeration, printing, copying).
+walks the stored DAG once per distinct node and reads the cells, and is only
+done at API boundaries (world enumeration, printing, copying).
 """
 
 from __future__ import annotations
@@ -62,7 +70,8 @@ class AtomCell:
 
 class _StoredNode:
     """A node of a stored wff: a leaf holds an AtomCell, internal nodes hold
-    a connective tag and children.  Mirrors the Formula AST one-to-one."""
+    a connective tag and children.  Mirrors the Formula DAG: interned input
+    formulas that share subtrees share the corresponding stored nodes."""
 
     __slots__ = ("tag", "cell", "children")
 
@@ -70,6 +79,49 @@ class _StoredNode:
         self.tag = tag
         self.cell = cell
         self.children = children
+
+
+def _node_multiplicities(root: _StoredNode) -> Dict[int, Tuple[_StoredNode, int]]:
+    """Tree-position count of every distinct node of *root*'s DAG.
+
+    ``{id(node): (node, multiplicity)}`` where multiplicity is the number of
+    paths from the root — i.e. how many positions the node occupies in the
+    equivalent fully-expanded tree.  Computed in O(distinct nodes), never by
+    walking the (possibly exponential) tree.
+    """
+    # Post-order over distinct nodes; reversed, that is a topological order
+    # with parents before children, so multiplicities propagate in one pass.
+    order: List[_StoredNode] = []
+    visited = set()
+    stack: List[Tuple[_StoredNode, bool]] = [(root, False)]
+    while stack:
+        node, done = stack.pop()
+        if done:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for child in node.children:
+            if id(child) not in visited:
+                stack.append((child, False))
+    mult: Dict[int, Tuple[_StoredNode, int]] = {id(root): (root, 1)}
+    for node in reversed(order):
+        _, m = mult[id(node)]
+        for child in node.children:  # duplicates count once per position
+            existing = mult.get(id(child))
+            mult[id(child)] = (child, (existing[1] if existing else 0) + m)
+    return mult
+
+
+def _cell_multiplicities(root: _StoredNode) -> Dict[AtomCell, int]:
+    """Per-position occurrence count of every cell referenced by *root*."""
+    counts: Dict[AtomCell, int] = {}
+    for node, multiplicity in _node_multiplicities(root).values():
+        if node.cell is not None:
+            counts[node.cell] = counts.get(node.cell, 0) + multiplicity
+    return counts
 
 
 class StoredWff:
@@ -92,35 +144,70 @@ class StoredWff:
         return _materialize(self.root)
 
     def size(self) -> int:
-        count = 0
+        """Node count of the equivalent tree (the paper's length measure).
+
+        Computed arithmetically over the DAG — ``1 + sum(child sizes)`` per
+        distinct node — so heavily shared wffs report their true tree size
+        without the exponential walk.
+        """
+        sizes: Dict[int, int] = {}
         stack = [self.root]
         while stack:
-            node = stack.pop()
-            count += 1
-            stack.extend(node.children)
-        return count
+            node = stack[-1]
+            if id(node) in sizes:
+                stack.pop()
+                continue
+            pending = [c for c in node.children if id(c) not in sizes]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            sizes[id(node)] = 1 + sum(sizes[id(c)] for c in node.children)
+        return sizes[id(self.root)]
 
 
-def _materialize(node: _StoredNode) -> Formula:
-    if node.tag == "top":
-        return Top()
-    if node.tag == "bottom":
-        return Bottom()
-    if node.tag == "atom":
-        assert node.cell is not None
-        return Atom(node.cell.current)
-    children = tuple(_materialize(child) for child in node.children)
-    if node.tag == "not":
-        return Not(children[0])
-    if node.tag == "and":
-        return And(children)
-    if node.tag == "or":
-        return Or(children)
-    if node.tag == "implies":
-        return Implies(children[0], children[1])
-    if node.tag == "iff":
-        return Iff(children[0], children[1])
-    raise TheoryError(f"corrupt stored node tag {node.tag!r}")
+def _materialize(root: _StoredNode) -> Formula:
+    """Rebuild the immutable formula: iterative, one visit per distinct node."""
+    memo: Dict[int, Formula] = {}
+    stack = [root]
+    while stack:
+        node = stack[-1]
+        if id(node) in memo:
+            stack.pop()
+            continue
+        tag = node.tag
+        if tag == "top":
+            memo[id(node)] = Top()
+            stack.pop()
+            continue
+        if tag == "bottom":
+            memo[id(node)] = Bottom()
+            stack.pop()
+            continue
+        if tag == "atom":
+            assert node.cell is not None
+            memo[id(node)] = Atom(node.cell.current)
+            stack.pop()
+            continue
+        pending = [c for c in node.children if id(c) not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        children = tuple(memo[id(child)] for child in node.children)
+        if tag == "not":
+            memo[id(node)] = Not(children[0])
+        elif tag == "and":
+            memo[id(node)] = And(children)
+        elif tag == "or":
+            memo[id(node)] = Or(children)
+        elif tag == "implies":
+            memo[id(node)] = Implies(children[0], children[1])
+        elif tag == "iff":
+            memo[id(node)] = Iff(children[0], children[1])
+        else:
+            raise TheoryError(f"corrupt stored node tag {tag!r}")
+    return memo[id(root)]
 
 
 class _SortedKeyList:
@@ -189,6 +276,12 @@ class WffStore:
         # atoms) instead of rescanning the store.  May contain atoms that
         # have since left the store; consumers re-check contains_atom.
         self._insertion_log: Dict[Predicate, List[GroundAtom]] = {}
+        # Formula -> stored node, keyed by interned identity: re-adding a
+        # formula (or one sharing subtrees with a stored wff) reuses the
+        # stored nodes instead of rebuilding them.  Only valid while cells
+        # keep their names and stay live, so rename/remove/replace_all clear
+        # it; add() never needs to.
+        self._node_memo: Dict[Formula, _StoredNode] = {}
         #: Bumped on every mutation; lets derived caches (the theory's CNF
         #: cache) detect staleness without subscriptions.
         self.version = 0
@@ -264,58 +357,65 @@ class WffStore:
     # -- mutation -----------------------------------------------------------------
 
     def add(self, formula: Formula) -> StoredWff:
-        """Store a wff, interning its atoms into shared cells."""
+        """Store a wff, interning its atoms into shared cells.
+
+        Shared subformulas (same interned object, within this wff or across
+        previously added ones) map to shared stored nodes; occurrence counts
+        are then settled once per cell by DAG multiplicity.
+        """
         self.version += 1
-        cells: List[AtomCell] = []
-        root = self._intern(formula, cells)
+        root = self._intern(formula)
         stored = StoredWff(root, self._next_id)
         self._next_id += 1
         self._wffs.append(stored)
-        for cell in set(cells):
+        counts = _cell_multiplicities(root)
+        for cell, multiplicity in counts.items():
+            cell.occurrences += multiplicity
             self._cell_owners.setdefault(cell, []).append(stored)
         return stored
 
-    def _intern(self, formula: Formula, cells: List[AtomCell]) -> _StoredNode:
-        if isinstance(formula, Top):
-            return _StoredNode("top")
-        if isinstance(formula, Bottom):
-            return _StoredNode("bottom")
-        if isinstance(formula, Atom):
-            cell = self._cell_for(formula.atom)
-            cell.occurrences += 1
-            cells.append(cell)
-            return _StoredNode("atom", cell=cell)
-        if isinstance(formula, Not):
-            return _StoredNode(
-                "not", children=(self._intern(formula.operand, cells),)
+    _TAGS = {Not: "not", And: "and", Or: "or", Implies: "implies", Iff: "iff"}
+
+    def _intern(self, formula: Formula) -> _StoredNode:
+        """Build (or reuse) the stored DAG for *formula*, iteratively.
+
+        Occurrence counting is the caller's job (via multiplicities); this
+        only guarantees every atom has a live cell and an index entry.
+        """
+        memo = self._node_memo
+        node = memo.get(formula)
+        if node is not None:
+            return node
+        stack = [formula]
+        while stack:
+            f = stack[-1]
+            if f in memo:
+                stack.pop()
+                continue
+            if isinstance(f, Top):
+                memo[f] = _StoredNode("top")
+                stack.pop()
+                continue
+            if isinstance(f, Bottom):
+                memo[f] = _StoredNode("bottom")
+                stack.pop()
+                continue
+            if isinstance(f, Atom):
+                memo[f] = _StoredNode("atom", cell=self._cell_for(f.atom))
+                stack.pop()
+                continue
+            tag = self._TAGS.get(type(f))
+            if tag is None:
+                raise TheoryError(f"cannot store formula node {f!r}")
+            pending = [c for c in f.children() if c not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            memo[f] = _StoredNode(
+                tag, children=tuple(memo[c] for c in f.children())
             )
-        if isinstance(formula, And):
-            return _StoredNode(
-                "and",
-                children=tuple(self._intern(op, cells) for op in formula.operands),
-            )
-        if isinstance(formula, Or):
-            return _StoredNode(
-                "or",
-                children=tuple(self._intern(op, cells) for op in formula.operands),
-            )
-        if isinstance(formula, Implies):
-            return _StoredNode(
-                "implies",
-                children=(
-                    self._intern(formula.antecedent, cells),
-                    self._intern(formula.consequent, cells),
-                ),
-            )
-        if isinstance(formula, Iff):
-            return _StoredNode(
-                "iff",
-                children=(
-                    self._intern(formula.left, cells),
-                    self._intern(formula.right, cells),
-                ),
-            )
-        raise TheoryError(f"cannot store formula node {formula!r}")
+        return memo[formula]
 
     def _cell_for(self, atom: AtomLike) -> AtomCell:
         cells = self._cells.get(atom)
@@ -353,6 +453,9 @@ class WffStore:
         if not cells:
             return 0
         self.version += 1
+        # Node reuse keys on the formula the node was built from; a rename
+        # changes what a stored node materializes to, so the memo is stale.
+        self._node_memo.clear()
         self._index_discard(old)
         redirected = 0
         for cell in cells:
@@ -377,17 +480,13 @@ class WffStore:
         except ValueError:
             raise TheoryError("wff is not in this store") from None
         self.version += 1
-        released: List[AtomCell] = []
-        stack = [stored.root]
-        while stack:
-            node = stack.pop()
-            if node.cell is not None:
-                released.append(node.cell)
-                node.cell.occurrences -= 1
-                if node.cell.occurrences == 0:
-                    self._release_cell(node.cell)
-            stack.extend(node.children)
-        for cell in set(released):
+        # Other wffs may share this wff's nodes; the nodes stay valid for
+        # them, but released cells make memo reuse unsound for future adds.
+        self._node_memo.clear()
+        for cell, multiplicity in _cell_multiplicities(stored.root).items():
+            cell.occurrences -= multiplicity
+            if cell.occurrences == 0:
+                self._release_cell(cell)
             owners = self._cell_owners.get(cell)
             if owners is not None:
                 try:
@@ -418,6 +517,7 @@ class WffStore:
         self._indexes.clear()
         self._pc_index = _SortedKeyList()
         self._insertion_log.clear()
+        self._node_memo.clear()
         for formula in formulas:
             self.add(formula)
 

@@ -52,10 +52,10 @@ class SkolemConstant(Constant):
 
     __slots__ = ()
 
-    def __init__(self, name: str):
+    def __new__(cls, name: str):
         if not name.startswith(SKOLEM_PREFIX):
             name = SKOLEM_PREFIX + name
-        super().__init__(name)
+        return super().__new__(cls, name)
 
     @property
     def is_null(self) -> bool:

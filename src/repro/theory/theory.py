@@ -99,7 +99,10 @@ class ExtendedRelationalTheory:
         # GUA's cross-update dedup registry for Step 5/6 axiom instances and
         # the per-dependency FD key indexes.  Both are first-class state of
         # the theory (captured by snapshot/restore), not ad-hoc attributes.
-        self._axiom_instances: set = set()
+        # Instances are interned formulas, so the registry keys on the stable
+        # arena node id — membership is one int-dict probe, no structural
+        # hashing of the instance.
+        self._axiom_instances: Dict[int, Formula] = {}
         self._fd_key_indexes: Dict[int, object] = {}
         #: Shared work counters for every solver this theory spins up
         #: (consistency, world enumeration, and the query layer thread it).
@@ -163,10 +166,14 @@ class ExtendedRelationalTheory:
         it to the section), False on repeats.  Renames can make entries
         syntactically stale; the worst case is re-adding a logically
         redundant wff — harmless (and counted by the benches).
+
+        Hash-consing makes "same instance" the same object, so the check is
+        an identity probe on the arena node id.
         """
-        if instance in self._axiom_instances:
+        key = instance.arena_id
+        if key in self._axiom_instances:
             return False
-        self._axiom_instances.add(instance)
+        self._axiom_instances[key] = instance
         return True
 
     def fd_key_index(self, dependency, factory):
@@ -183,7 +190,7 @@ class ExtendedRelationalTheory:
         """Capture the mutable state a rollback must rewind."""
         return TheorySnapshot(
             formulas=self._store.formulas(),
-            axiom_instances=frozenset(self._axiom_instances),
+            axiom_instances=frozenset(self._axiom_instances.values()),
         )
 
     def restore(self, snapshot: TheorySnapshot) -> None:
@@ -194,7 +201,7 @@ class ExtendedRelationalTheory:
         clause cache and FD key indexes are invalidated by the store rebuild.
         """
         self.replace_formulas(snapshot.formulas)
-        self._axiom_instances = set(snapshot.axiom_instances)
+        self._axiom_instances = {f.arena_id: f for f in snapshot.axiom_instances}
 
     # -- derived structure -----------------------------------------------------------
 

@@ -1,0 +1,113 @@
+"""DAG-aware transform passes: bounded blowup and no recursion ceilings.
+
+Regression tests for the two historical failure modes the arena-memoized
+iterative passes eliminate:
+
+* nested biconditionals — ``eliminate_conditionals`` duplicates each
+  operand, O(2^d) on trees; on the shared DAG the Tseitin clause count and
+  conversion time must stay linear in depth (checked at depth 20);
+* deep chains — a 10,000-deep parenthesized conjunction used to exhaust the
+  interpreter's recursion limit in the parser and every traversal; all of
+  parse → eliminate → NNF → fold → Tseitin must now complete.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.logic.cnf import tseitin, to_cnf
+from repro.logic.entailment import equivalent
+from repro.logic.parser import parse
+from repro.logic.syntax import Atom, Formula, Iff, Not
+from repro.logic.terms import Predicate
+from repro.logic.transform import eliminate_conditionals, fold_constants, to_nnf
+
+P = Predicate("P", 1)
+
+
+def _nested_iff(depth: int) -> Formula:
+    formula: Formula = Atom(P("a0"))
+    for i in range(1, depth + 1):
+        formula = Iff(formula, Atom(P(f"a{i}")))
+    return formula
+
+
+def _dag_nodes(formula: Formula) -> int:
+    seen = set()
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(node.children())
+    return len(seen)
+
+
+class TestNestedIff:
+    def test_depth_20_stays_polynomial(self):
+        depth = 20
+        start = time.perf_counter()
+        eliminated = eliminate_conditionals(_nested_iff(depth))
+        encoded = tseitin(eliminated, prefix="@dag_")
+        elapsed = time.perf_counter() - start
+        # The *tree* is O(2^d) (~8.4M nodes at d=20); the interned DAG and
+        # its encoding must stay linear in d.
+        assert eliminated.size() > 2**depth  # the blowup the DAG absorbs
+        assert _dag_nodes(eliminated) <= 12 * depth
+        assert len(encoded.clauses) <= 12 * depth
+        assert elapsed < 5.0
+
+    def test_small_depth_equivalence(self):
+        # The DAG-shared elimination is still logically correct: check
+        # against direct CNF equivalence at enumerable size.
+        for depth in (1, 2, 3, 4):
+            formula = _nested_iff(depth)
+            assert equivalent(eliminate_conditionals(formula), formula)
+
+    def test_elimination_shares_duplicated_operands(self):
+        eliminated = eliminate_conditionals(Iff(Atom(P("a")), Atom(P("b"))))
+        # (a & b) | (!a & !b): both branches reference the same atom objects.
+        positive, negative = eliminated.operands
+        assert positive.operands[0] is negative.operands[0].operand
+
+
+class TestDeepChains:
+    def test_10000_deep_conjunction_parses_and_normalizes(self):
+        depth = 10_000
+        text = (
+            "".join(f"P(c{i}) & (" for i in range(depth))
+            + f"P(c{depth})"
+            + ")" * depth
+        )
+        formula = parse(text)
+        assert len(formula.operands) == depth + 1
+        nnf = to_nnf(formula)
+        assert len(nnf.operands) == depth + 1
+        folded = fold_constants(nnf)
+        assert folded is nnf  # nothing to fold, shared object returned
+        encoded = tseitin(Not(formula), prefix="@deep_")
+        # NNF of the negation is one flat Or of negated literals: a single
+        # selector-definition clause plus the root assertion.
+        assert len(encoded.clauses) == 2
+
+    def test_deep_negation_chain(self):
+        formula = parse("!" * 5001 + "P(a)")
+        nnf = to_nnf(formula)
+        assert nnf is Not(Atom(P("a")))
+
+    def test_deep_mixed_chain_right_nested(self):
+        depth = 3000
+        text = (
+            "".join(f"P(a{i}) {'&' if i % 2 else '|'} (" for i in range(depth))
+            + "P(z)"
+            + ")" * depth
+        )
+        formula = parse(text)
+        encoded = tseitin(formula, prefix="@mix_")
+        assert len(encoded.clauses) > depth  # one selector clause per Or/And run
+
+    def test_direct_cnf_on_deep_conjunction_of_literals(self):
+        depth = 5000
+        formula = parse(" & ".join(f"P(d{i})" for i in range(depth)))
+        assert len(to_cnf(formula)) == depth
