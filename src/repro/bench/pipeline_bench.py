@@ -10,13 +10,17 @@ across commits.
 
 Usage::
 
-    python -m repro.bench.pipeline_bench [output.json]
+    python -m repro.bench.pipeline_bench [output.json] [--trace-out FILE]
+
+With ``--trace-out`` the run executes under span tracing and writes a
+Chrome ``trace_event`` JSON of every update's span tree (pipeline stages,
+GUA steps, SAT solves) — open it in chrome://tracing or Perfetto.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
 import time
 from typing import Dict, List
 
@@ -73,8 +77,30 @@ def run_config(label: str, kwargs: Dict) -> Dict:
 
 
 def main(argv: List[str]) -> int:
-    output = argv[0] if argv else "BENCH_pipeline.json"
+    parser = argparse.ArgumentParser(prog="repro.bench.pipeline_bench")
+    parser.add_argument("output", nargs="?", default="BENCH_pipeline.json")
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="run under span tracing and write a Chrome trace_event JSON",
+    )
+    args = parser.parse_args(argv)
+    output = args.output
+
+    if args.trace_out:
+        from repro.obs import configure
+
+        # Room for every update of every config (4 configs x ~20 roots).
+        configure(enabled=True, keep_last=512)
+
     results = [run_config(label, kwargs) for label, kwargs in CONFIGS]
+
+    if args.trace_out:
+        from repro.obs import TRACER, configure, write_chrome_trace
+
+        write_chrome_trace(TRACER, args.trace_out)
+        configure(enabled=False)
+        print(f"wrote Chrome trace to {args.trace_out}")
 
     for result in results:
         print_table(
@@ -95,4 +121,6 @@ def main(argv: List[str]) -> int:
 
 
 if __name__ == "__main__":
+    import sys
+
     raise SystemExit(main(sys.argv[1:]))

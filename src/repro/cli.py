@@ -14,7 +14,10 @@ Interactive commands (anything else is parsed as an LDML statement):
     .theory           print the theory with its derived axioms
     .stats            engine statistics (theory sizes, SAT counters, caches,
                       formula-arena interning counters)
+    .metrics          the same statistics under namespaced dotted names
     .trace            per-stage pipeline timings (last update + totals)
+    .explain          the last update as the paper's GUA Step 1-7 narrative
+    .spans [min_ms]   span tree of the last traced update (needs --trace)
     .simplify         run the Section 4 simplifier
     .savepoint <name> / .rollback <name>
     .save <file> / .load <file>
@@ -95,6 +98,24 @@ def handle_command(db: Database, line: str, out=None) -> Optional[Database]:
     elif command == ".stats":
         for key, value in db.statistics().items():
             print(f"  {key}: {value}", file=out)
+    elif command == ".metrics":
+        from repro.obs import render_metrics
+
+        print(render_metrics(db.metrics_snapshot()), file=out)
+    elif command == ".explain":
+        print(db.explain_update(), file=out)
+    elif command == ".spans":
+        from repro.obs import TRACER, enabled
+
+        root = TRACER.find_root(
+            lambda r: r.attrs.get("pipeline") == db.pipeline.pipeline_id
+        )
+        if root is None:
+            hint = "" if enabled() else " (tracing is off; run with --trace)"
+            print(f"no spans recorded{hint}", file=out)
+        else:
+            min_ms = float(argument) if argument else 0.0
+            print(root.render(min_ms=min_ms), file=out)
     elif command == ".trace":
         trace = db.last_trace()
         if trace is None:
@@ -183,7 +204,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="gua",
         help="update-execution backend (default: gua)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable hierarchical span tracing (.spans, richer .explain)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace_event JSON of the session's spans on "
+        "exit (implies --trace; open in chrome://tracing or Perfetto)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace or args.trace_out:
+        from repro.obs import configure
+
+        configure(enabled=True)
 
     db = (
         load_database(args.load)
@@ -205,6 +242,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.save and status == 0:
         save_database(db, args.save)
         print(f"saved to {args.save}")
+    if args.trace_out:
+        from repro.obs import TRACER, write_chrome_trace
+
+        write_chrome_trace(TRACER, args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out}")
     return status
 
 

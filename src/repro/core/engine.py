@@ -43,7 +43,10 @@ from repro.core.transaction import TransactionManager
 from repro.errors import InconsistentTheoryError, UpdateError
 from repro.ldml.ast import GroundUpdate
 from repro.ldml.parser import parse_script
+from repro.logic.arena import ARENA
 from repro.logic.syntax import Formula
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import TRACER
 from repro.query.answers import Answer
 from repro.query.select import SelectedRow, select as select_theory
 from repro.theory.dependencies import TemplateDependency
@@ -104,7 +107,12 @@ class Database:
             entailment_mode=entailment_mode,
             simplify_every=simplify_every,
         )
-        self.tracer = PipelineTracer(keep_last=trace_history)
+        # The metrics registry is created before the tracer so the tracer
+        # can feed its per-stage duration histograms.
+        self.metrics = MetricsRegistry()
+        self.tracer = PipelineTracer(
+            keep_last=trace_history, registry=self.metrics
+        )
         self._simplifier = (
             AutoSimplifier(simplify_every)
             if simplify_every and self.backend.supports("simplify")
@@ -121,6 +129,26 @@ class Database:
         # Per-savepoint simplifier state (update-counter phase, report
         # count) so rollback restores the whole engine, not just the theory.
         self._simplifier_marks: Dict[str, Tuple[int, int]] = {}
+        # Every health counter flows through the registry, namespaced at its
+        # source; Database.statistics() is the collision-checked flat view.
+        for namespace, collector, strip, flatten in self.backend.metric_sources():
+            self.metrics.register_collector(
+                namespace, collector, strip=strip, flatten=flatten
+            )
+        self.metrics.register_collector(
+            "engine",
+            lambda: {"updates_applied": len(self.transactions.log)},
+            flatten="strip",
+        )
+        self.metrics.register_collector(
+            "pipeline", self.tracer.metrics, flatten="join"
+        )
+        self.metrics.register_collector(
+            "arena", ARENA.statistics, strip="arena_", flatten="join"
+        )
+        self.metrics.register_collector(
+            "obs", TRACER.statistics, flatten="join"
+        )
 
     # -- backend views -----------------------------------------------------------
 
@@ -270,19 +298,32 @@ class Database:
         self.backend.compact()
 
     def statistics(self) -> Dict[str, float]:
-        """Engine-wide health metrics: the backend's counters (theory sizes
-        and ``sat_*``/``tseitin_cache_*`` for gua, ``log_*`` for the log
-        store, world counts for naive), ``updates_applied``, the pipeline
-        tracer's per-stage ``pipeline_<stage>_calls`` /
-        ``pipeline_<stage>_seconds``, and the formula arena's ``arena_*``
-        interning/memo counters (process-wide, shared by all databases)."""
-        from repro.logic.arena import ARENA
+        """Engine-wide health metrics, flat legacy names: the backend's
+        counters (theory sizes and ``sat_*``/``tseitin_cache_*`` for gua,
+        ``log_*`` for the log store, world counts for naive),
+        ``updates_applied``, the pipeline tracer's per-stage
+        ``pipeline_<stage>_calls`` / ``pipeline_<stage>_seconds``, the
+        formula arena's ``arena_*`` interning/memo counters (process-wide,
+        shared by all databases), and the span tracer's ``obs_*`` counters.
 
-        stats: Dict[str, float] = dict(self.backend.statistics())
-        stats["updates_applied"] = len(self.transactions.log)
-        stats.update(self.tracer.statistics())
-        stats.update(ARENA.statistics())
-        return stats
+        This is the back-compat view of :meth:`metrics_snapshot`: every key
+        is namespaced at its source and flattened here, and a collision
+        between two sources raises instead of silently shadowing a metric.
+        """
+        return self.metrics.flat_snapshot()
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """The same metrics under namespaced dotted names
+        (``sat.conflicts``, ``arena.hit_rate``,
+        ``pipeline.execute.seconds.p90``, ...)."""
+        return self.metrics.snapshot()
+
+    def explain_update(self) -> str:
+        """Render the last applied update as the paper's GUA Step 1–7
+        narrative (see :func:`repro.obs.explain.explain_update`)."""
+        from repro.obs.explain import explain_update
+
+        return explain_update(self)
 
     def last_trace(self) -> Optional[UpdateTrace]:
         """The stage-by-stage trace of the most recent pipeline update."""
@@ -322,6 +363,22 @@ class Database:
             self._simplifier_marks = {
                 n: m for n, m in self._simplifier_marks.items() if n in surviving
             }
+        # A rolled-back update must never be reported as current: rewind the
+        # pipeline trace history, drop this pipeline's root spans past the
+        # new journal tip, and clear the cached last execution result.
+        log_length = len(self.transactions.log)
+        self.tracer.truncate(log_length)
+        pipeline_id = self.pipeline.pipeline_id
+        TRACER.discard(
+            lambda root: root.attrs.get("pipeline") == pipeline_id
+            and root.attrs.get("sequence", log_length) >= log_length
+        )
+        if (
+            self.pipeline.last_sequence is not None
+            and self.pipeline.last_sequence >= log_length
+        ):
+            self.pipeline.last_result = None
+            self.pipeline.last_sequence = None
 
     def size(self) -> int:
         """The backend's growth measure (stored nodes for gua, pending log

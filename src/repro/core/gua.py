@@ -65,6 +65,7 @@ from repro.logic.syntax import (
     conjoin,
 )
 from repro.logic.terms import GroundAtom, PredicateConstant
+from repro.obs.spans import span
 from repro.theory.theory import ExtendedRelationalTheory
 
 #: How Step 5 decides whether ``w`` guarantees an attribute atom.
@@ -91,13 +92,19 @@ class GuaStats:
 
 @dataclass
 class GuaResult:
-    """Outcome of one GUA execution."""
+    """Outcome of one GUA execution.
+
+    ``step_additions`` maps a GUA step key (``"step1"``, ``"step2'"``, ...,
+    ``"step7"``) to the wffs that step added, in order — the raw material
+    of the :func:`repro.obs.explain.explain_update` narrative.
+    """
 
     update: Insert
     substitution: GroundSubstitution
     fresh_constants: Dict[GroundAtom, PredicateConstant]
     added_formulas: List[Formula] = field(default_factory=list)
     stats: GuaStats = field(default_factory=GuaStats)
+    step_additions: Dict[str, List[Formula]] = field(default_factory=dict)
 
 
 class GuaExecutor:
@@ -164,14 +171,30 @@ class GuaExecutor:
             stats=stats,
         )
 
-        self._step1_completion(insert, result)
-        self._step2_prime_attribute_completion(insert, result)
-        sigma = self._step2_rename(insert, result)
-        self._step3_define(insert, sigma, result)
-        self._step4_restrict(insert, sigma, result)
-        new_axiom_atoms = self._step5_type_axioms(insert, result)
-        new_axiom_atoms |= self._step6_dependencies(insert, result)
-        self._step7_close_completion(new_axiom_atoms, result)
+        with span("gua.apply", g=stats.g) as sp:
+            with span("gua.step1_extend_completions"):
+                self._step1_completion(insert, result)
+            with span("gua.step2p_attribute_completion"):
+                self._step2_prime_attribute_completion(insert, result)
+            with span("gua.step2_rename") as s2:
+                sigma = self._step2_rename(insert, result)
+                if s2:
+                    s2.attrs["renamed_atoms"] = stats.renamed_atoms
+                    s2.attrs["occurrences"] = stats.renamed_occurrences
+            with span("gua.step3_define"):
+                self._step3_define(insert, sigma, result)
+            with span("gua.step4_restrict"):
+                self._step4_restrict(insert, sigma, result)
+            with span("gua.step5_type_axioms"):
+                new_axiom_atoms = self._step5_type_axioms(insert, result)
+            with span("gua.step6_dependencies") as s6:
+                new_axiom_atoms |= self._step6_dependencies(insert, result)
+                if s6:
+                    s6.attrs["bindings"] = stats.dependency_bindings_examined
+            with span("gua.step7_close_completions"):
+                self._step7_close_completion(new_axiom_atoms, result)
+            if sp:
+                sp.attrs["wffs_added"] = stats.wffs_added
         return result
 
     def apply_simultaneous(self, update) -> GuaResult:
@@ -215,63 +238,83 @@ class GuaExecutor:
             stats=stats,
         )
 
-        # Steps 1 and 2': completion axioms for every mentioned atom.
-        store = self.theory.store
-        mentioned: Set[GroundAtom] = set()
-        for where, body in pairs:
-            mentioned |= body.ground_atoms() | where.ground_atoms()
-        for atom in sorted(mentioned):
-            if not store.contains_atom(atom):
-                self._add(Not(Atom(atom)), result)
-                result.stats.completion_additions += 1
-        schema = self.theory.schema
-        if schema is not None:
-            for _, body in pairs:
-                for atom in sorted(body.ground_atoms()):
-                    for obligation in schema.type_obligations(atom):
-                        if not store.contains_atom(obligation):
-                            self._add(Not(Atom(obligation)), result)
-                            result.stats.completion_additions += 1
+        with span("gua.apply_simultaneous", pairs=len(pairs), g=stats.g):
+            # Steps 1 and 2': completion axioms for every mentioned atom.
+            store = self.theory.store
+            with span("gua.step1_extend_completions"):
+                mentioned: Set[GroundAtom] = set()
+                for where, body in pairs:
+                    mentioned |= body.ground_atoms() | where.ground_atoms()
+                for atom in sorted(mentioned):
+                    if not store.contains_atom(atom):
+                        self._add(Not(Atom(atom)), result, "step1")
+                        result.stats.completion_additions += 1
+            schema = self.theory.schema
+            with span("gua.step2p_attribute_completion"):
+                if schema is not None:
+                    for _, body in pairs:
+                        for atom in sorted(body.ground_atoms()):
+                            for obligation in schema.type_obligations(atom):
+                                if not store.contains_atom(obligation):
+                                    self._add(
+                                        Not(Atom(obligation)), result, "step2'"
+                                    )
+                                    result.stats.completion_additions += 1
 
-        # Step 2: one sigma over the union of written atoms.
-        written: Set[GroundAtom] = set()
-        for _, body in pairs:
-            written |= body.ground_atoms()
-        mapping: Dict[GroundAtom, PredicateConstant] = {}
-        for atom in sorted(written):
-            fresh = self.theory.fresh_predicate_constant()
-            mapping[atom] = fresh
-            redirected = store.rename(atom, fresh)
-            result.stats.renamed_atoms += 1
-            result.stats.renamed_occurrences += redirected
-        sigma = GroundSubstitution(mapping)
-        result.substitution = sigma
-        result.fresh_constants = mapping
+            # Step 2: one sigma over the union of written atoms.
+            with span("gua.step2_rename") as s2:
+                written: Set[GroundAtom] = set()
+                for _, body in pairs:
+                    written |= body.ground_atoms()
+                mapping: Dict[GroundAtom, PredicateConstant] = {}
+                for atom in sorted(written):
+                    fresh = self.theory.fresh_predicate_constant()
+                    mapping[atom] = fresh
+                    redirected = store.rename(atom, fresh)
+                    result.stats.renamed_atoms += 1
+                    result.stats.renamed_occurrences += redirected
+                sigma = GroundSubstitution(mapping)
+                result.substitution = sigma
+                result.fresh_constants = mapping
+                if s2:
+                    s2.attrs["renamed_atoms"] = result.stats.renamed_atoms
+                    s2.attrs["occurrences"] = result.stats.renamed_occurrences
 
-        # Step 3: one definition wff per pair.
-        for where, body in pairs:
-            self._add(Implies(sigma.apply(where), body), result)
+            # Step 3: one definition wff per pair.
+            with span("gua.step3_define"):
+                for where, body in pairs:
+                    self._add(
+                        Implies(sigma.apply(where), body), result, "step3"
+                    )
 
-        # Step 4: per-atom guard over the clauses that write it.
-        for atom in sorted(written):
-            guards = [
-                Not(sigma.apply(where))
-                for where, body in pairs
-                if atom in body.ground_atoms()
-            ]
-            self._add(
-                Implies(conjoin(guards), Iff(Atom(atom), Atom(mapping[atom]))),
-                result,
-            )
+            # Step 4: per-atom guard over the clauses that write it.
+            with span("gua.step4_restrict"):
+                for atom in sorted(written):
+                    guards = [
+                        Not(sigma.apply(where))
+                        for where, body in pairs
+                        if atom in body.ground_atoms()
+                    ]
+                    self._add(
+                        Implies(
+                            conjoin(guards),
+                            Iff(Atom(atom), Atom(mapping[atom])),
+                        ),
+                        result,
+                        "step4",
+                    )
 
-        # Steps 5-7 on the union footprint.  Step 5 must judge guarantees
-        # per writing pair: an obligation counts as guaranteed only when
-        # *every* body that writes the atom guarantees it — whichever clause
-        # fired, the produced models then satisfy the type axiom.
-        new_axiom_atoms = self._step5_type_axioms_multi(pairs, result)
-        joint = Insert(conjoin([body for _, body in pairs]))
-        new_axiom_atoms |= self._step6_dependencies(joint, result)
-        self._step7_close_completion(new_axiom_atoms, result)
+            # Steps 5-7 on the union footprint.  Step 5 must judge guarantees
+            # per writing pair: an obligation counts as guaranteed only when
+            # *every* body that writes the atom guarantees it — whichever
+            # clause fired, the produced models then satisfy the type axiom.
+            with span("gua.step5_type_axioms"):
+                new_axiom_atoms = self._step5_type_axioms_multi(pairs, result)
+            with span("gua.step6_dependencies"):
+                joint = Insert(conjoin([body for _, body in pairs]))
+                new_axiom_atoms |= self._step6_dependencies(joint, result)
+            with span("gua.step7_close_completions"):
+                self._step7_close_completion(new_axiom_atoms, result)
         return result
 
     def _step5_type_axioms_multi(self, pairs, result: GuaResult) -> Set[GroundAtom]:
@@ -330,7 +373,7 @@ class GuaExecutor:
                     for candidate in (relation_atom, *obligations)
                     if not store.contains_atom(candidate)
                 ]
-                self._add(instance, result)
+                self._add(instance, result, "step5")
                 result.stats.type_instances += 1
                 new_atoms.update(fresh)
         return new_atoms
@@ -346,9 +389,10 @@ class GuaExecutor:
                     count += 1
         return count
 
-    def _add(self, formula: Formula, result: GuaResult) -> None:
+    def _add(self, formula: Formula, result: GuaResult, step: str) -> None:
         stored = self.theory.add_formula(formula)
         result.added_formulas.append(formula)
+        result.step_additions.setdefault(step, []).append(formula)
         result.stats.wffs_added += 1
         result.stats.nodes_added += stored.size()
 
@@ -359,7 +403,7 @@ class GuaExecutor:
         )
         for atom in mentioned:
             if not store.contains_atom(atom):
-                self._add(Not(Atom(atom)), result)
+                self._add(Not(Atom(atom)), result, "step1")
                 result.stats.completion_additions += 1
 
     def _step2_prime_attribute_completion(
@@ -372,7 +416,7 @@ class GuaExecutor:
         for atom in sorted(insert.body.ground_atoms()):
             for obligation in schema.type_obligations(atom):
                 if not store.contains_atom(obligation):
-                    self._add(Not(Atom(obligation)), result)
+                    self._add(Not(Atom(obligation)), result, "step2'")
                     result.stats.completion_additions += 1
 
     def _step2_rename(self, insert: Insert, result: GuaResult) -> GroundSubstitution:
@@ -392,7 +436,7 @@ class GuaExecutor:
         self, insert: Insert, sigma: GroundSubstitution, result: GuaResult
     ) -> None:
         clause = sigma.apply(insert.where)
-        self._add(Implies(clause, insert.body), result)
+        self._add(Implies(clause, insert.body), result, "step3")
 
     def _step4_restrict(
         self, insert: Insert, sigma: GroundSubstitution, result: GuaResult
@@ -412,14 +456,14 @@ class GuaExecutor:
         if self.restriction_policy == "guarded":
             # formula (1) without its guard: old values always pinned.
             for biconditional in biconditionals:
-                self._add(biconditional, result)
+                self._add(biconditional, result, "step4")
             return
         clause = Not(sigma.apply(insert.where))
         if self.combine_restrict:
-            self._add(Implies(clause, conjoin(biconditionals)), result)
+            self._add(Implies(clause, conjoin(biconditionals)), result, "step4")
         else:
             for biconditional in biconditionals:
-                self._add(Implies(clause, biconditional), result)
+                self._add(Implies(clause, biconditional), result, "step4")
 
     # -- Step 5: type axiom instantiation ----------------------------------------------
 
@@ -484,7 +528,7 @@ class GuaExecutor:
                 conjoin([Atom(ob) for ob in obligations]),
             )
             if self._register_axiom_instance(instance):
-                self._add(instance, result)
+                self._add(instance, result, "step5")
                 result.stats.type_instances += 1
                 for candidate in (relation_atom, *obligations):
                     if candidate not in universe:
@@ -522,7 +566,7 @@ class GuaExecutor:
                     for atom in instance.ground_atoms()
                     if not store.contains_atom(atom)
                 ]
-                self._add(instance, result)
+                self._add(instance, result, "step6")
                 result.stats.dependency_instances += 1
                 new_atoms.update(fresh)
         return new_atoms
@@ -574,7 +618,7 @@ class GuaExecutor:
             # the instance wffs only; Lemma 1 requires !f alongside the new
             # completion disjunct to keep the world set unchanged.
             if atom in new_atoms or not store.contains_atom(atom):
-                self._add(Not(Atom(atom)), result)
+                self._add(Not(Atom(atom)), result, "step7")
                 result.stats.completion_additions += 1
 
 

@@ -36,6 +36,7 @@ atoms/wffs touched, backend counters — which feeds
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -56,6 +57,8 @@ from repro.ldml.sql import translate_sql
 from repro.logic.parser import parse as parse_formula
 from repro.logic.syntax import Formula
 from repro.logic.terms import GroundAtom
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import span as obs_span
 from repro.query.answers import Answer, ask as ask_theory
 from repro.theory.theory import ExtendedRelationalTheory
 from repro.theory.worlds import AlternativeWorld
@@ -69,6 +72,10 @@ STAGES: Tuple[str, ...] = (
     "journal",
     "maintain",
 )
+
+#: Monotonic ids stamped on each pipeline's root spans, so traces from
+#: several databases interleaved on the process tracer stay attributable.
+_PIPELINE_IDS = itertools.count()
 
 
 # -- observability -----------------------------------------------------------------
@@ -116,12 +123,23 @@ class PipelineTracer:
     surfaced by ``Database.statistics()``.
     """
 
-    def __init__(self, keep_last: int = 64):
+    def __init__(
+        self,
+        keep_last: int = 64,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self._history: Deque[UpdateTrace] = deque(maxlen=keep_last)
         self._current: Optional[UpdateTrace] = None
         self._calls: Dict[str, int] = {stage: 0 for stage in STAGES}
         self._seconds: Dict[str, float] = {stage: 0.0 for stage in STAGES}
         self.updates_traced = 0
+        self._histograms = None
+        if registry is not None:
+            self._histograms = {
+                stage: registry.histogram(f"pipeline.{stage}.seconds")
+                for stage in STAGES
+            }
 
     def begin(self, backend: str) -> UpdateTrace:
         self._current = UpdateTrace(
@@ -131,17 +149,32 @@ class PipelineTracer:
 
     @contextmanager
     def stage(self, name: str):
-        """Time one stage; the yielded event's ``detail`` is caller-filled."""
+        """Time one stage; the yielded event's ``detail`` is caller-filled.
+
+        Alongside the per-update trace, each stage execution opens an obs
+        span (``pipeline.<stage>``, nested under the update's root span
+        when tracing is on) and feeds the stage-duration histogram of the
+        owning database's metrics registry.
+        """
         event = StageEvent(stage=name)
-        start = time.perf_counter()
-        try:
-            yield event
-        finally:
-            event.seconds = time.perf_counter() - start
-            self._calls[name] = self._calls.get(name, 0) + 1
-            self._seconds[name] = self._seconds.get(name, 0.0) + event.seconds
-            if self._current is not None:
-                self._current.events.append(event)
+        with obs_span(f"pipeline.{name}") as sp:
+            start = time.perf_counter()
+            try:
+                yield event
+            finally:
+                event.seconds = time.perf_counter() - start
+                if sp:
+                    sp.attrs.update(event.detail)
+                self._calls[name] = self._calls.get(name, 0) + 1
+                self._seconds[name] = (
+                    self._seconds.get(name, 0.0) + event.seconds
+                )
+                if self._histograms is not None:
+                    histogram = self._histograms.get(name)
+                    if histogram is not None:
+                        histogram.observe(event.seconds)
+                if self._current is not None:
+                    self._current.events.append(event)
 
     def commit(self) -> None:
         """The in-flight update completed; move it to the history."""
@@ -154,6 +187,18 @@ class PipelineTracer:
         """The in-flight update failed; drop its partial trace (cumulative
         stage totals keep the time actually spent)."""
         self._current = None
+
+    def truncate(self, sequence: int) -> None:
+        """Drop traces of updates with sequence >= *sequence* (rollback).
+
+        The sequence counter rewinds with the journal so the next update's
+        trace number matches its journal entry; cumulative per-stage totals
+        are *not* rewound — they describe work actually performed, which a
+        rollback cannot unperform.
+        """
+        while self._history and self._history[-1].sequence >= sequence:
+            self._history.pop()
+        self.updates_traced = min(self.updates_traced, sequence)
 
     def last(self) -> Optional[UpdateTrace]:
         return self._history[-1] if self._history else None
@@ -175,6 +220,16 @@ class PipelineTracer:
             stats[f"pipeline_{stage}_calls"] = calls
             stats[f"pipeline_{stage}_seconds"] = seconds
         return stats
+
+    def metrics(self) -> Dict[str, float]:
+        """The same counters under dotted metric names (``updates``,
+        ``<stage>.calls``, ``<stage>.seconds``) for the ``pipeline``
+        namespace of the metrics registry."""
+        out: Dict[str, float] = {"updates": self.updates_traced}
+        for stage, (calls, seconds) in self.stage_totals().items():
+            out[f"{stage}.calls"] = calls
+            out[f"{stage}.seconds"] = seconds
+        return out
 
 
 # -- the normalized form -----------------------------------------------------------
@@ -272,6 +327,13 @@ class UpdateBackend:
     def statistics(self) -> Dict[str, int]:
         return {}
 
+    def metric_sources(self):
+        """``(namespace, collector, strip, flatten)`` tuples for the
+        metrics registry — every key namespaced at its source.  The default
+        exposes :meth:`statistics` under the backend's name with the legacy
+        un-prefixed flat keys."""
+        return [(self.name, self.statistics, None, "strip")]
+
 
 class GuaBackend(UpdateBackend):
     """Algorithm GUA against a live, incrementally-maintained theory."""
@@ -322,6 +384,14 @@ class GuaBackend(UpdateBackend):
         stats = dict(self._theory.statistics())
         stats.update(self._theory.solver_statistics())
         return stats
+
+    def metric_sources(self):
+        theory = self._theory
+        return [
+            ("theory", theory.statistics, None, "strip"),
+            ("sat", theory.sat_stats.as_dict, "sat_", "join"),
+            ("tseitin", theory.tseitin_statistics, "tseitin_", "join"),
+        ]
 
 
 class LogBackend(UpdateBackend):
@@ -374,6 +444,9 @@ class LogBackend(UpdateBackend):
 
     def statistics(self) -> Dict[str, int]:
         return self.store.statistics()
+
+    def metric_sources(self):
+        return [("log", self.store.statistics, "log_", "join")]
 
 
 class NaiveBackend(UpdateBackend):
@@ -488,6 +561,13 @@ class UpdatePipeline:
         self.schema = schema
         self.auto_tag = auto_tag and schema is not None
         self.simplifier = simplifier
+        #: Distinguishes this pipeline's root spans on the process tracer.
+        self.pipeline_id = next(_PIPELINE_IDS)
+        #: The last successful execution result and its journal sequence —
+        #: what ``explain_update`` narrates without a replay on the gua
+        #: backend.  Cleared by rollback when the update is rewound.
+        self.last_result: Optional[Any] = None
+        self.last_sequence: Optional[int] = None
         # Body -> tagged body, keyed by interned identity.  Grounded open
         # updates and repeated workloads re-submit structurally identical
         # bodies; hash-consing makes them the same object, so the tag stage
@@ -511,6 +591,12 @@ class UpdatePipeline:
         GUA backend, :class:`BackendResult` otherwise).
         """
         trace = self.tracer.begin(self.backend.name)
+        root = obs_span(
+            "pipeline.update",
+            pipeline=self.pipeline_id,
+            backend=self.backend.name,
+        )
+        root.__enter__()
         try:
             with self.tracer.stage("parse") as event:
                 parsed = self._parse(statement, source)
@@ -558,10 +644,17 @@ class UpdatePipeline:
                 event.detail["simplified"] = report is not None
                 if report is not None:
                     event.detail["size_after"] = report.size_after
-        except BaseException:
+        except BaseException as error:
             self.tracer.abort()
+            root.__exit__(type(error), error, error.__traceback__)
             raise
+        if root:
+            root.attrs["kind"] = trace.kind
+            root.attrs["sequence"] = entry.sequence
+        root.__exit__(None, None, None)
         self.tracer.commit()
+        self.last_result = result
+        self.last_sequence = entry.sequence
         return result
 
     # -- stages -----------------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.logic.cnf import Clause
 from repro.logic.sat import Solver, SolverStats
 from repro.logic.terms import AtomLike
 from repro.logic.valuation import Valuation
+from repro.obs.spans import span
 
 
 def iter_models(
@@ -41,10 +42,15 @@ def iter_models(
     (None = all).  Enumeration order is deterministic.  ``stats`` threads a
     shared :class:`SolverStats` into the underlying solver.
     """
-    solver = Solver(clauses, stats=stats)
+    with span("allsat.setup", projected=False):
+        solver = Solver(clauses, stats=stats)
     produced = 0
     while limit is None or produced < limit:
-        model = solver.solve(use_pure_literals=False)
+        # The span closes before the yield: a generator frame runs in its
+        # consumer's context, so a span held open across a yield would
+        # adopt the consumer's unrelated spans as children.
+        with span("allsat.model", index=produced):
+            model = solver.solve(use_pure_literals=False)
         if model is None:
             return
         yield model
@@ -71,10 +77,12 @@ def iter_projected_models(
     matches the completion-axiom treatment of never-mentioned atoms.
     """
     onto_set = frozenset(onto)
-    solver = Solver(clauses, stats=stats)
+    with span("allsat.setup", projected=True):
+        solver = Solver(clauses, stats=stats)
     produced = 0
     while limit is None or produced < limit:
-        model = solver.solve(use_pure_literals=False)
+        with span("allsat.model", index=produced):
+            model = solver.solve(use_pure_literals=False)
         if model is None:
             return
         projection_items = {

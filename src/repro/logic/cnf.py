@@ -30,6 +30,7 @@ from repro.logic.syntax import (
 )
 from repro.logic.terms import AtomLike, PredicateConstant
 from repro.logic.transform import fold_constants, to_nnf
+from repro.obs.spans import span
 
 #: A literal is an atom with a polarity; a clause is a disjunction of them.
 Literal = Tuple[AtomLike, bool]
@@ -153,6 +154,17 @@ def tseitin(
     uniquely (useful when *total* model counts over the encoded clauses
     must match the original formula's).
     """
+    sp = span("cnf.tseitin", full=full)
+    if not sp:
+        return _tseitin(formula, prefix, full)
+    with sp:
+        result = _tseitin(formula, prefix, full)
+        sp.attrs["clauses"] = len(result.clauses)
+        sp.attrs["selectors"] = len(result.selectors)
+    return result
+
+
+def _tseitin(formula: Formula, prefix: str, full: bool) -> TseitinResult:
     nnf = fold_constants(to_nnf(formula))
     if isinstance(nnf, Top):
         root_atom = PredicateConstant(f"{prefix}_top")

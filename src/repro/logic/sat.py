@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.logic.cnf import Clause, Literal
 from repro.logic.terms import AtomLike
 from repro.logic.valuation import Valuation
+from repro.obs.spans import span
 
 _UNASSIGNED = -1
 _FALSE = 0
@@ -172,6 +173,28 @@ class Solver:
         are rejected up front — including over atoms absent from the clause
         set, which never reach the search at all.
         """
+        sp = span("sat.solve")
+        if not sp:
+            return self._solve(assumptions, use_pure_literals)
+        stats = self.stats
+        d0, p0, c0 = stats.decisions, stats.propagations, stats.conflicts
+        with sp:
+            model = self._solve(assumptions, use_pure_literals)
+            sp.attrs.update(
+                vars=len(self._atom_of),
+                clauses=self.num_clauses,
+                sat=model is not None,
+                decisions=stats.decisions - d0,
+                propagations=stats.propagations - p0,
+                conflicts=stats.conflicts - c0,
+            )
+        return model
+
+    def _solve(
+        self,
+        assumptions: Sequence[Literal],
+        use_pure_literals: bool,
+    ) -> Optional[Valuation]:
         self.stats.solve_calls += 1
         if self._contains_empty:
             return None

@@ -1,0 +1,143 @@
+"""Exporters: JSON-lines span log, Chrome ``trace_event`` files, plaintext
+metrics dumps.
+
+The Chrome format is the *Trace Event Format* consumed by
+``chrome://tracing`` and Perfetto: a JSON object with a ``traceEvents``
+array of complete ("ph": "X") events, timestamps and durations in
+microseconds.  Each span becomes one event; nesting is reconstructed by
+the viewer from timestamp containment on a single pid/tid, so the exported
+file shows the pipeline → GUA → SAT flamegraph directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Union
+
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "spans_to_jsonl",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_metrics",
+]
+
+
+def _jsonable(value):
+    """Attribute values may be formulas/atoms; stringify anything exotic."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def _roots(source: Union[SpanTracer, Span, Iterable[Span]]) -> List[Span]:
+    if isinstance(source, SpanTracer):
+        return list(source.roots())
+    if isinstance(source, Span):
+        return [source]
+    return list(source)
+
+
+def spans_to_jsonl(source: Union[SpanTracer, Span, Iterable[Span]]) -> str:
+    """One JSON object per span, parents before children.
+
+    Each record carries ``id``/``parent`` links (depth-first numbering per
+    export), the dotted name, start offset and durations in seconds, and
+    the span's attributes — a grep-able event log for offline analysis.
+    """
+    lines: List[str] = []
+    next_id = 0
+    for root in _roots(source):
+        stack: List[tuple] = [(root, None)]
+        while stack:
+            node, parent_id = stack.pop()
+            record = {
+                "id": next_id,
+                "parent": parent_id,
+                "name": node.name,
+                "start": round(node.start, 9),
+                "wall_seconds": round(node.wall_seconds, 9),
+                "cpu_seconds": round(node.cpu_seconds, 9),
+                "attrs": _jsonable(node.attrs),
+            }
+            lines.append(json.dumps(record, sort_keys=True))
+            for child in reversed(node.children):
+                stack.append((child, next_id))
+            next_id += 1
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(
+    source: Union[SpanTracer, Span, Iterable[Span]], path: str
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(spans_to_jsonl(source))
+
+
+def chrome_trace(
+    source: Union[SpanTracer, Span, Iterable[Span]],
+    *,
+    process_name: str = "repro",
+) -> Dict:
+    """A ``chrome://tracing`` / Perfetto trace of the given spans."""
+    events: List[Dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for root in _roots(source):
+        for _, node in root.walk():
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": 1,
+                    "name": node.name,
+                    "cat": node.name.split(".", 1)[0],
+                    "ts": round(node.start * 1e6, 3),
+                    "dur": round(node.wall_seconds * 1e6, 3),
+                    "args": _jsonable(node.attrs),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    source: Union[SpanTracer, Span, Iterable[Span]],
+    path: str,
+    *,
+    process_name: str = "repro",
+) -> None:
+    with open(path, "w") as handle:
+        json.dump(
+            chrome_trace(source, process_name=process_name), handle, indent=1
+        )
+
+
+def render_metrics(snapshot: Mapping[str, Union[int, float]]) -> str:
+    """Plaintext dump of a metrics snapshot, grouped by namespace."""
+    lines: List[str] = []
+    previous_namespace = None
+    width = max((len(k) for k in snapshot), default=0)
+    for key in sorted(snapshot):
+        namespace = key.split(".", 1)[0].split("_", 1)[0]
+        if previous_namespace is not None and namespace != previous_namespace:
+            lines.append("")
+        previous_namespace = namespace
+        value = snapshot[key]
+        if isinstance(value, float) and not value.is_integer():
+            rendered = f"{value:.6f}"
+        else:
+            rendered = str(int(value)) if value == int(value) else str(value)
+        lines.append(f"{key.ljust(width)}  {rendered}")
+    return "\n".join(lines)

@@ -44,6 +44,7 @@ from repro.logic.parser import parse
 from repro.logic.sat import Solver, SolverStats
 from repro.logic.syntax import Formula
 from repro.logic.terms import GroundAtom, Predicate, PredicateConstant
+from repro.obs.spans import span
 from repro.theory.axioms import (
     CompletionAxiom,
     TypeAxiom,
@@ -281,9 +282,15 @@ class ExtendedRelationalTheory:
         :meth:`reset_solver_statistics`.
         """
         stats = self.sat_stats.as_dict()
-        stats["tseitin_cache_hits"] = self._clause_cache_hits
-        stats["tseitin_cache_misses"] = self._clause_cache_misses
+        stats.update(self.tseitin_statistics())
         return stats
+
+    def tseitin_statistics(self) -> Dict[str, int]:
+        """The per-wff clause-cache counters alone (one metrics source)."""
+        return {
+            "tseitin_cache_hits": self._clause_cache_hits,
+            "tseitin_cache_misses": self._clause_cache_misses,
+        }
 
     def reset_solver_statistics(self) -> None:
         self.sat_stats.reset()
@@ -334,8 +341,9 @@ class ExtendedRelationalTheory:
 
     def is_consistent(self) -> bool:
         """Does the theory have at least one model?"""
-        solver = Solver(self.clauses(), stats=self.sat_stats)
-        return solver.solve(use_pure_literals=True) is not None
+        with span("theory.consistency"):
+            solver = Solver(self.clauses(), stats=self.sat_stats)
+            return solver.solve(use_pure_literals=True) is not None
 
     def alternative_worlds(
         self, *, limit: Optional[int] = None
@@ -351,13 +359,20 @@ class ExtendedRelationalTheory:
             )
 
     def world_set(self) -> FrozenSet[AlternativeWorld]:
-        return frozenset(self.alternative_worlds())
+        with span("theory.enumerate_worlds") as sp:
+            worlds = frozenset(self.alternative_worlds())
+            if sp:
+                sp.attrs["worlds"] = len(worlds)
+            return worlds
 
     def world_count(self, *, cap: Optional[int] = None) -> int:
-        count = 0
-        for _ in self.alternative_worlds(limit=cap):
-            count += 1
-        return count
+        with span("theory.enumerate_worlds") as sp:
+            count = 0
+            for _ in self.alternative_worlds(limit=cap):
+                count += 1
+            if sp:
+                sp.attrs["worlds"] = count
+            return count
 
     def satisfies_axiom_invariant(self) -> bool:
         """Check the Section 3.5 restriction: removing type and dependency

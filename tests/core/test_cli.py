@@ -112,6 +112,44 @@ class TestHandleCommand:
     def test_blank_line_noop(self, db):
         assert handle_command(db, "   ") is None
 
+    def test_explain(self, db):
+        handle_command(db, "INSERT P(a) WHERE T")
+        out = io.StringIO()
+        handle_command(db, ".explain", out=out)
+        text = out.getvalue()
+        assert "GUA EXPLAIN" in text
+        assert "Step 1" in text and "Step 7" in text
+
+    def test_metrics(self, db):
+        handle_command(db, "INSERT P(a) WHERE T")
+        out = io.StringIO()
+        handle_command(db, ".metrics", out=out)
+        text = out.getvalue()
+        assert "theory.wffs" in text
+        assert "pipeline.execute.calls" in text
+
+    def test_spans_hint_when_tracing_off(self, db):
+        handle_command(db, "INSERT P(a) WHERE T")
+        out = io.StringIO()
+        handle_command(db, ".spans", out=out)
+        assert "tracing is off" in out.getvalue()
+
+    def test_spans_with_tracing(self, db):
+        from repro.obs.spans import TRACER
+
+        TRACER.reset()
+        TRACER.configure(enabled=True)
+        try:
+            handle_command(db, "INSERT P(a) WHERE T")
+            out = io.StringIO()
+            handle_command(db, ".spans", out=out)
+        finally:
+            TRACER.configure(enabled=False)
+            TRACER.reset()
+        text = out.getvalue()
+        assert "pipeline.update" in text
+        assert "gua.apply" in text
+
     def test_help(self, db):
         out = io.StringIO()
         handle_command(db, ".help", out=out)
@@ -168,3 +206,21 @@ class TestScriptRunner:
             status = main(["--backend", backend, str(script)])
             assert status == 0
             assert "applied 2 updates" in capsys.readouterr().out
+
+    def test_main_trace_out_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.spans import TRACER
+
+        script = tmp_path / "updates.ldml"
+        script.write_text("INSERT P(a) | P(b) WHERE T")
+        trace_file = tmp_path / "trace.json"
+        try:
+            status = main([str(script), "--trace-out", str(trace_file)])
+        finally:
+            TRACER.configure(enabled=False)
+            TRACER.reset()
+        assert status == 0
+        trace = json.loads(trace_file.read_text())
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "pipeline.update" in names and "gua.apply" in names

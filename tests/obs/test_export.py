@@ -1,0 +1,122 @@
+"""Exporters: JSON-lines span log, Chrome trace_event files, plaintext
+metrics dumps."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    render_metrics,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.spans import span
+
+
+def _sample_tree(tracer):
+    with span("pipeline.update", pipeline=0, sequence=0) as root:
+        with span("gua.apply", g=4):
+            with span("sat.solve", sat=True):
+                pass
+        with span("pipeline.journal"):
+            pass
+    return root
+
+
+class TestJsonl:
+    def test_parent_links_and_order(self, traced):
+        _sample_tree(traced)
+        records = [
+            json.loads(line) for line in spans_to_jsonl(traced).splitlines()
+        ]
+        by_id = {r["id"]: r for r in records}
+        names = {r["name"]: r for r in records}
+        assert names["pipeline.update"]["parent"] is None
+        assert by_id[names["gua.apply"]["parent"]]["name"] == "pipeline.update"
+        assert by_id[names["sat.solve"]["parent"]]["name"] == "gua.apply"
+        # Parents are emitted before their children.
+        for record in records:
+            if record["parent"] is not None:
+                assert record["parent"] < record["id"]
+
+    def test_attrs_are_jsonable(self, traced):
+        from repro.logic.parser import parse
+
+        with span("x") as sp:
+            sp.attrs["formula"] = parse("R(a) & R(b)")
+            sp.attrs["atoms"] = [parse("R(a)")]
+        (record,) = [
+            json.loads(line) for line in spans_to_jsonl(traced).splitlines()
+        ]
+        assert record["attrs"]["formula"] == "R(a) & R(b)"
+        assert record["attrs"]["atoms"] == ["R(a)"]
+
+    def test_write_jsonl(self, traced, tmp_path):
+        _sample_tree(traced)
+        path = tmp_path / "spans.jsonl"
+        write_jsonl(traced, str(path))
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_empty_tracer(self, traced):
+        assert spans_to_jsonl(traced) == ""
+
+
+class TestChromeTrace:
+    def test_event_structure(self, traced):
+        _sample_tree(traced)
+        trace = chrome_trace(traced)
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "M"  # process-name metadata
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {
+            "pipeline.update",
+            "gua.apply",
+            "sat.solve",
+            "pipeline.journal",
+        }
+        for event in complete:
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert event["cat"] == event["name"].split(".")[0]
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        # Nesting is reconstructed from timestamp containment: every child
+        # event must lie within its parent's [ts, ts+dur] window.
+        parent = next(e for e in complete if e["name"] == "pipeline.update")
+        for child_name in ("gua.apply", "sat.solve", "pipeline.journal"):
+            child = next(e for e in complete if e["name"] == child_name)
+            assert child["ts"] >= parent["ts"]
+            assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1
+        assert complete[0]["args"] == {"pipeline": 0, "sequence": 0}
+
+    def test_write_chrome_trace_is_valid_json(self, traced, tmp_path):
+        _sample_tree(traced)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == 5
+
+    def test_single_span_source(self, traced):
+        root = _sample_tree(traced)
+        trace = chrome_trace(root)
+        assert len([e for e in trace["traceEvents"] if e["ph"] == "X"]) == 4
+
+
+class TestRenderMetrics:
+    def test_grouped_and_aligned(self):
+        text = render_metrics(
+            {
+                "sat.conflicts": 3,
+                "sat.decisions": 12,
+                "arena.hit_rate": 0.4237,
+                "wffs": 5,
+            }
+        )
+        lines = text.splitlines()
+        assert "arena.hit_rate" in lines[0]
+        assert "0.423700" in lines[0]
+        # Blank separator between namespaces.
+        assert "" in lines
+        assert any(line.startswith("sat.conflicts") for line in lines)
+
+    def test_empty_snapshot(self):
+        assert render_metrics({}) == ""
