@@ -5,6 +5,7 @@ Usage::
     python -m repro script.ldml          # run a ';'-separated LDML script
     python -m repro                      # interactive session
     python -m repro --load db.json       # resume a saved database
+    python -m repro fuzz --seed 7 --cases 200   # differential fuzzing (qa)
 
 Interactive commands (anything else is parsed as an LDML statement):
 
@@ -191,6 +192,14 @@ def repl(db: Database) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommands dispatch before argparse (the flat grammar stays as-is
+    # for the common script/REPL path).
+    if argv and argv[0] == "fuzz":
+        from repro.qa.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="LDML shell for extended relational theories (Winslett 1986)",

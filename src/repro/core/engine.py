@@ -258,6 +258,17 @@ class Database:
             self.backend.world_set(), key=lambda w: sorted(map(str, w))
         )
 
+    def world_set(self, limit: Optional[int] = None):
+        """The alternative-world set as a frozenset, optionally capped.
+
+        With ``limit``, at most that many worlds are materialized — the
+        hook the QA differential oracle uses to compare backends without
+        risking an exponential enumeration on a runaway case (a result of
+        exactly ``limit`` worlds may be truncated; compare against
+        ``limit + 1`` caps to detect overflow).
+        """
+        return self.backend.world_set(limit=limit)
+
     def world_count(self, cap: Optional[int] = None) -> int:
         return self.backend.world_count(cap=cap)
 

@@ -271,6 +271,9 @@ class GuaExecutor:
                     fresh = self.theory.fresh_predicate_constant()
                     mapping[atom] = fresh
                     redirected = store.rename(atom, fresh)
+                    # Same invalidation as the ground path: renamed-away
+                    # atoms void their registered Step 5/6 instances.
+                    self.theory.invalidate_axiom_instances(atom)
                     result.stats.renamed_atoms += 1
                     result.stats.renamed_occurrences += redirected
                 sigma = GroundSubstitution(mapping)
@@ -425,6 +428,10 @@ class GuaExecutor:
             fresh = self.theory.fresh_predicate_constant()
             mapping[atom] = fresh
             redirected = self.theory.store.rename(atom, fresh)
+            # The in-theory copies of any Step 5/6 instances over this atom
+            # now refer to its historical value; drop them from the dedup
+            # registry so this update's Steps 5/6 can re-instantiate.
+            self.theory.invalidate_axiom_instances(atom)
             result.stats.renamed_atoms += 1
             result.stats.renamed_occurrences += redirected
         sigma = GroundSubstitution(mapping)

@@ -302,12 +302,21 @@ class UpdateBackend:
     def ask(self, query: Union[Formula, str]) -> Answer:
         raise NotImplementedError
 
-    def world_set(self) -> FrozenSet[AlternativeWorld]:
+    def world_set(
+        self, limit: Optional[int] = None
+    ) -> FrozenSet[AlternativeWorld]:
+        """The backend's alternative-world set, optionally capped.
+
+        ``limit`` bounds enumeration for oracles that only need to know
+        whether the set is small enough to compare exhaustively (the QA
+        differential harness): at most *limit* worlds are materialized, so
+        a runaway case costs bounded work instead of an exponential blowup.
+        """
         raise NotImplementedError
 
     def world_count(self, cap: Optional[int] = None) -> int:
         count = 0
-        for _ in self.world_set():
+        for _ in self.world_set(limit=cap):
             count += 1
             if cap is not None and count >= cap:
                 break
@@ -365,8 +374,12 @@ class GuaBackend(UpdateBackend):
     def ask(self, query: Union[Formula, str]) -> Answer:
         return ask_theory(self._theory, query)
 
-    def world_set(self) -> FrozenSet[AlternativeWorld]:
-        return self._theory.world_set()
+    def world_set(
+        self, limit: Optional[int] = None
+    ) -> FrozenSet[AlternativeWorld]:
+        if limit is None:
+            return self._theory.world_set()
+        return frozenset(self._theory.alternative_worlds(limit=limit))
 
     def world_count(self, cap: Optional[int] = None) -> int:
         return self._theory.world_count(cap=cap)
@@ -423,8 +436,14 @@ class LogBackend(UpdateBackend):
     def ask(self, query: Union[Formula, str]) -> Answer:
         return self.store.ask(query)
 
-    def world_set(self) -> FrozenSet[AlternativeWorld]:
-        return self.store.world_set()
+    def world_set(
+        self, limit: Optional[int] = None
+    ) -> FrozenSet[AlternativeWorld]:
+        if limit is None:
+            return self.store.world_set()
+        return frozenset(
+            self.store.materialize().alternative_worlds(limit=limit)
+        )
 
     def is_consistent(self) -> bool:
         return self.store.materialize().is_consistent()
@@ -485,8 +504,12 @@ class NaiveBackend(UpdateBackend):
             possible=any(world.satisfies(query) for world in worlds),
         )
 
-    def world_set(self) -> FrozenSet[AlternativeWorld]:
-        return self.store.worlds
+    def world_set(
+        self, limit: Optional[int] = None
+    ) -> FrozenSet[AlternativeWorld]:
+        if limit is None or len(self.store.worlds) <= limit:
+            return self.store.worlds
+        return frozenset(itertools.islice(self.store.worlds, limit))
 
     def is_consistent(self) -> bool:
         return self.store.is_consistent()

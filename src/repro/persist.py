@@ -209,9 +209,25 @@ def update_from_dict(data: Dict[str, Any]):
 
 
 def database_to_dict(db) -> Dict[str, Any]:
+    """Serialize a Database on any backend.
+
+    Alongside the live theory (``None`` for the theory-less naive backend),
+    the document records the *base* theory the transaction manager replays
+    from and the backend name, so a loaded engine replays, rolls back, and
+    answers exactly like the saved one — including ``"simultaneous"``
+    journal entries — on all three backends.
+    """
+    from repro.errors import TheoryError
+
+    try:
+        live_theory = theory_to_dict(db.theory)
+    except TheoryError:  # naive backend: no theory; state = base + journal
+        live_theory = None
     return {
         "format": DATABASE_FORMAT,
-        "theory": theory_to_dict(db.theory),
+        "backend": db.backend.name,
+        "theory": live_theory,
+        "base": theory_to_dict(db.transactions.base_theory),
         "journal": [
             {"kind": entry.kind, **update_to_dict(entry.update)}
             for entry in db.transactions.log.entries()
@@ -222,23 +238,60 @@ def database_to_dict(db) -> Dict[str, Any]:
 
 def database_from_dict(data: Dict[str, Any]):
     from repro.core.engine import Database
+    from repro.core.transaction import KIND_GROUND, KIND_SIMULTANEOUS
+    from repro.core.pipeline import NormalizedUpdate
 
     if data.get("format") != DATABASE_FORMAT:
         raise PersistenceError(
             f"not a {DATABASE_FORMAT} document (format={data.get('format')!r})"
         )
-    theory = theory_from_dict(data["theory"])
+    backend = data.get("backend", "gua")
+    live = theory_from_dict(data["theory"]) if data.get("theory") else None
+    # Pre-base documents stored only the live theory: fall back to an empty
+    # base with the live theory's schema/dependencies (the old behavior).
+    base = theory_from_dict(data["base"]) if data.get("base") else None
+    structure = base if base is not None else live
+    if structure is None:
+        raise PersistenceError(
+            "document has neither a live theory nor a base theory"
+        )
     db = Database(
-        schema=theory.schema,
-        dependencies=theory.dependencies,
+        schema=structure.schema,
+        dependencies=structure.dependencies,
+        facts=base.formulas() if base is not None else (),
         auto_tag=data.get("auto_tag", True),
+        backend=backend,
     )
-    db.theory.replace_formulas(theory.formulas())
+    replay_into_backend = live is None or backend not in ("gua",)
     for entry in data.get("journal", []):
         # Older files have no "kind"; record() then derives it structurally.
-        db.transactions.log.record(
-            update_from_dict(entry), db.theory.size(), kind=entry.get("kind")
-        )
+        update = update_from_dict(entry)
+        kind = entry.get("kind")
+        if replay_into_backend:
+            # Backends whose live state cannot be overwritten wholesale
+            # (log: base + pending log; naive: explicit worlds) rebuild it
+            # by re-executing the journal.  Entries are already normalized
+            # and attribute-tagged, so execution must not re-tag.
+            from repro.ldml.simultaneous import SimultaneousInsert
+
+            is_simultaneous = (
+                kind == KIND_SIMULTANEOUS
+                if kind is not None
+                else isinstance(update, SimultaneousInsert)
+            )
+            db.backend.execute(
+                NormalizedUpdate(
+                    kind=KIND_SIMULTANEOUS if is_simultaneous else KIND_GROUND,
+                    original=update,
+                    ground=None if is_simultaneous else update,
+                    simultaneous=update if is_simultaneous else None,
+                )
+            )
+        db.transactions.log.record(update, db.backend.size(), kind=kind)
+    if live is not None and not replay_into_backend:
+        # The gua backend restores its exact saved syntactic state directly
+        # (cheaper than replaying, and preserves predicate-constant names).
+        db.theory.replace_formulas(live.formulas())
     return db
 
 

@@ -1,0 +1,521 @@
+"""Seeded random generator of theories and LDML scripts.
+
+Every draw flows from one ``random.Random(seed)``, so a case (and a whole
+fuzzing run) replays bit-for-bit from its seed.  The generator deliberately
+targets the corner cases the related work singles out — incomplete
+information as disjunctive facts and negated wffs (nulls), functional and
+inclusion dependencies over tiny constant pools (so key collisions actually
+happen), attribute/type-axiom interplay, and scripts that mix all four LDML
+operators with open ``?var`` and simultaneous updates.
+
+A generated :class:`FuzzCase` is a *value*: schema spec, dependency specs,
+fact texts, and statement specs, all JSON-serializable — the shrinker edits
+it structurally, the corpus stores it, and the emitted pytest reproducer
+embeds it literally.
+
+Legality: algorithm GUA's precondition (Section 3.5) is that the initial
+theory satisfies the axiom invariant — no alternative world of the bare
+section violates a type or dependency axiom.  The generator enforces it by
+construction where cheap (facts are attribute-tagged under a schema) and by
+rejection sampling otherwise, degrading gracefully (drop dependencies, then
+the schema) so a case is always produced.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.ldml.open_updates import OpenUpdate, parse_open_update
+from repro.ldml.simultaneous import SimultaneousInsert
+from repro.logic.printer import to_text
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.logic.terms import Constant, GroundAtom, Predicate
+from repro.theory.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    MultivaluedDependency,
+    TemplateDependency,
+)
+from repro.theory.schema import DatabaseSchema, schema_from_dict
+from repro.theory.theory import ExtendedRelationalTheory
+
+#: Attribute-name pool; sharing attributes across relations is intentional
+#: (an attribute touched by one relation's tuples constrains the other's).
+_ATTRIBUTE_POOL = ("Av", "Bv", "Cv", "Dv", "Ev")
+
+#: Constant-name pool.  Tiny on purpose: collisions trigger FD conflicts,
+#: inclusion gaps, and shared-atom branching.
+_CONSTANT_POOL = ("c1", "c2", "c3", "c4")
+
+
+@dataclass
+class FuzzConfig:
+    """Size/shape knobs for one generated case."""
+
+    max_relations: int = 2
+    max_arity: int = 2
+    max_constants: int = 3
+    max_atoms: int = 6  #: ground-atom pool size (bounds the world universe)
+    max_wffs: int = 4  #: non-axiomatic facts in the initial theory
+    max_statements: int = 4  #: LDML statements in the script
+    max_depth: int = 2  #: connective nesting in generated formulas
+    schema_probability: float = 0.6
+    dependency_probability: float = 0.4
+    open_probability: float = 0.15
+    simultaneous_probability: float = 0.15
+    #: Rejection-sampling budget for the GUA legality precondition.
+    legality_attempts: int = 8
+
+    def scaled(self, **overrides) -> "FuzzConfig":
+        return replace(self, **overrides)
+
+
+@dataclass
+class FuzzCase:
+    """One differential test case: an initial theory plus an LDML script.
+
+    Everything is plain data (JSON-round-trippable): the schema as a
+    ``{relation: [attribute, ...]}`` spec, dependencies in the persistence
+    format of :func:`repro.persist.dependency_to_dict`, facts as concrete
+    formula text, and statements as the persistence format of
+    :func:`repro.persist.update_to_dict` extended with
+    ``{"op": "open", "text": ...}`` for ``?var`` statements.
+    """
+
+    schema: Optional[Dict[str, List[str]]] = None
+    dependencies: List[Dict[str, Any]] = field(default_factory=list)
+    facts: List[str] = field(default_factory=list)
+    statements: List[Dict[str, Any]] = field(default_factory=list)
+    seed: Optional[int] = None
+    note: str = ""
+
+    # -- materialization ---------------------------------------------------------
+
+    def schema_object(self) -> Optional[DatabaseSchema]:
+        return schema_from_dict(self.schema) if self.schema else None
+
+    def dependency_objects(self) -> List[TemplateDependency]:
+        from repro.persist import dependency_from_dict
+
+        return [dependency_from_dict(d) for d in self.dependencies]
+
+    def statement_objects(self) -> List[Any]:
+        """The script as executable update objects, in order."""
+        from repro.persist import update_from_dict
+
+        objects: List[Any] = []
+        for spec in self.statements:
+            if spec.get("op") == "open":
+                objects.append(parse_open_update(spec["text"]))
+            else:
+                objects.append(update_from_dict(spec))
+        return objects
+
+    def initial_theory(self) -> ExtendedRelationalTheory:
+        return ExtendedRelationalTheory(
+            schema=self.schema_object(),
+            dependencies=self.dependency_objects(),
+            formulas=list(self.facts),
+        )
+
+    def make_database(self, backend: str = "gua", **kwargs):
+        from repro.core.engine import Database
+
+        return Database(
+            schema=self.schema_object(),
+            dependencies=self.dependency_objects(),
+            facts=list(self.facts),
+            backend=backend,
+            **kwargs,
+        )
+
+    # -- size (the shrinker's fitness measures) ----------------------------------
+
+    @property
+    def wff_count(self) -> int:
+        return len(self.facts)
+
+    @property
+    def statement_count(self) -> int:
+        return len(self.statements)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-fuzzcase-v1",
+            "seed": self.seed,
+            "note": self.note,
+            "schema": self.schema,
+            "dependencies": self.dependencies,
+            "facts": self.facts,
+            "statements": self.statements,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzCase":
+        return cls(
+            schema=data.get("schema"),
+            dependencies=list(data.get("dependencies", [])),
+            facts=list(data.get("facts", [])),
+            statements=list(data.get("statements", [])),
+            seed=data.get("seed"),
+            note=data.get("note", ""),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """Human-readable rendering for failure reports."""
+        lines: List[str] = []
+        if self.seed is not None:
+            lines.append(f"seed: {self.seed}")
+        if self.note:
+            lines.append(f"note: {self.note}")
+        if self.schema:
+            lines.append(f"schema: {self.schema}")
+        for dep in self.dependency_objects():
+            lines.append(f"dependency: {dep!r}")
+        for fact in self.facts:
+            lines.append(f"fact: {fact}")
+        for obj in self.statement_objects():
+            lines.append(f"statement: {obj!r}")
+        return "\n".join(lines)
+
+
+# -- random formulas -----------------------------------------------------------------
+
+
+def random_formula(
+    rng: random.Random,
+    atoms: Sequence[GroundAtom],
+    depth: int = 2,
+    *,
+    allow_constants: bool = False,
+) -> Formula:
+    """A random ground wff of L' over *atoms* with connective nesting ≤ depth.
+
+    Leans toward the shapes that exercise incomplete information: bare
+    atoms, negated atoms (closed-world denial), and small disjunctions
+    (null-style "one of these holds"), with implications/biconditionals at
+    lower probability.  With ``allow_constants``, T/F may appear as leaves.
+    """
+    if depth <= 0 or not atoms or rng.random() < 0.35:
+        if allow_constants and rng.random() < 0.08:
+            return TRUE if rng.random() < 0.5 else FALSE
+        if not atoms:
+            return TRUE
+        leaf: Formula = Atom(rng.choice(list(atoms)))
+        if rng.random() < 0.3:
+            leaf = Not(leaf)
+        return leaf
+    connective = rng.random()
+    sub = lambda: random_formula(  # noqa: E731 - local shorthand
+        rng, atoms, depth - 1, allow_constants=allow_constants
+    )
+    if connective < 0.35:
+        return Or([sub() for _ in range(rng.randint(2, 3))])
+    if connective < 0.70:
+        return And([sub() for _ in range(rng.randint(2, 3))])
+    if connective < 0.80:
+        return Not(sub())
+    if connective < 0.92:
+        return Implies(sub(), sub())
+    return Iff(sub(), sub())
+
+
+# -- the case generator ----------------------------------------------------------------
+
+
+class _Draw:
+    """One attempt at a case; all randomness through the shared rng."""
+
+    def __init__(self, rng: random.Random, config: FuzzConfig):
+        self.rng = rng
+        self.config = config
+        self.constants: List[Constant] = [
+            Constant(name)
+            for name in _CONSTANT_POOL[: max(2, config.max_constants)]
+        ]
+
+    # -- structure -------------------------------------------------------------
+
+    def draw_schema(self) -> Optional[Dict[str, List[str]]]:
+        if self.rng.random() >= self.config.schema_probability:
+            return None
+        spec: Dict[str, List[str]] = {}
+        for index in range(self.rng.randint(1, self.config.max_relations)):
+            arity = self.rng.randint(1, self.config.max_arity)
+            spec[f"R{index}"] = [
+                self.rng.choice(_ATTRIBUTE_POOL) for _ in range(arity)
+            ]
+        return spec
+
+    def predicates(self, schema: Optional[Dict[str, List[str]]]) -> List[Predicate]:
+        if schema:
+            return [Predicate(name, len(cols)) for name, cols in schema.items()]
+        return [
+            Predicate(f"P{index}", self.rng.randint(1, self.config.max_arity))
+            for index in range(self.rng.randint(1, self.config.max_relations))
+        ]
+
+    def draw_dependencies(
+        self, predicates: Sequence[Predicate]
+    ) -> List[TemplateDependency]:
+        dependencies: List[TemplateDependency] = []
+        if self.rng.random() >= self.config.dependency_probability:
+            return dependencies
+        # Choose among kinds the drawn predicates can actually host, so a
+        # 1-ary-only draw still gets its inclusion dependency instead of
+        # wasting the roll on an impossible FD.
+        kinds = []
+        if any(p.arity >= 2 for p in predicates):
+            kinds.append("fd")
+        if len(predicates) >= 2 and any(p.arity == 1 for p in predicates):
+            kinds.append("inclusion")
+        if any(p.arity >= 3 for p in predicates):
+            kinds.append("mvd")
+        if not kinds:
+            return dependencies
+        for _ in range(self.rng.randint(1, 2)):
+            kind = self.rng.choice(kinds)
+            if kind == "fd":
+                wide = [p for p in predicates if p.arity >= 2]
+                predicate = self.rng.choice(wide)
+                columns = list(range(predicate.arity))
+                self.rng.shuffle(columns)
+                determinant = sorted(columns[: predicate.arity - 1])
+                dependent = sorted(columns[predicate.arity - 1:])
+                dependencies.append(
+                    FunctionalDependency(predicate, determinant, dependent)
+                )
+            elif kind == "inclusion":
+                narrow = [p for p in predicates if p.arity == 1]
+                parent = self.rng.choice(narrow)
+                child = self.rng.choice(
+                    [p for p in predicates if p is not parent] or narrow
+                )
+                if child is parent:
+                    continue
+                child_column = self.rng.randrange(child.arity)
+                dependencies.append(
+                    InclusionDependency(child, [child_column], parent, [0])
+                )
+            else:  # mvd needs determinant + dependent + swap columns
+                wide = [p for p in predicates if p.arity >= 3]
+                predicate = self.rng.choice(wide)
+                columns = list(range(predicate.arity))
+                self.rng.shuffle(columns)
+                dependencies.append(
+                    MultivaluedDependency(
+                        predicate, [columns[0]], [columns[1]]
+                    )
+                )
+        return dependencies
+
+    def draw_atoms(self, predicates: Sequence[Predicate]) -> List[GroundAtom]:
+        atoms: set = set()
+        budget = self.rng.randint(2, self.config.max_atoms)
+        for _ in range(budget * 3):
+            if len(atoms) >= budget:
+                break
+            predicate = self.rng.choice(list(predicates))
+            args = tuple(
+                self.rng.choice(self.constants) for _ in range(predicate.arity)
+            )
+            atoms.add(predicate(*args))
+        return sorted(atoms)
+
+    # -- the initial theory ------------------------------------------------------
+
+    def draw_facts(
+        self,
+        atoms: Sequence[GroundAtom],
+        schema: Optional[DatabaseSchema],
+    ) -> List[str]:
+        facts: List[str] = []
+        for _ in range(self.rng.randint(1, self.config.max_wffs)):
+            formula = random_formula(
+                self.rng, atoms, self.rng.randint(0, self.config.max_depth)
+            )
+            if schema is not None:
+                # Tag with attribute atoms so type axioms cannot be violated
+                # by the initial section (mirrors the engine's auto_tag).
+                formula = schema.tag_with_attributes(formula)
+            facts.append(to_text(formula))
+        return facts
+
+    # -- the script --------------------------------------------------------------
+
+    def draw_statement(
+        self, atoms: Sequence[GroundAtom], predicates: Sequence[Predicate]
+    ) -> Dict[str, Any]:
+        from repro.persist import update_to_dict
+        from repro.ldml.ast import Assert_, Delete, Insert, Modify
+
+        rng = self.rng
+        roll = rng.random()
+        if roll < self.config.open_probability and any(
+            p.arity >= 1 for p in predicates
+        ):
+            return {"op": "open", "text": self._open_text(atoms, predicates)}
+        roll -= self.config.open_probability
+        if roll < self.config.simultaneous_probability:
+            pairs = [
+                (
+                    random_formula(rng, atoms, 1, allow_constants=True),
+                    random_formula(rng, atoms, 1),
+                )
+                for _ in range(rng.randint(2, 3))
+            ]
+            return update_to_dict(SimultaneousInsert(pairs))
+
+        where = (
+            TRUE
+            if rng.random() < 0.4
+            else random_formula(rng, atoms, self.config.max_depth)
+        )
+        kind = rng.choice(["insert", "insert", "delete", "modify", "assert"])
+        if kind == "insert":
+            body = random_formula(rng, atoms, self.config.max_depth)
+            return update_to_dict(Insert(body, where))
+        if kind == "delete":
+            return update_to_dict(Delete(rng.choice(list(atoms)), where))
+        if kind == "modify":
+            body = random_formula(rng, atoms, 1)
+            return update_to_dict(
+                Modify(rng.choice(list(atoms)), body, where)
+            )
+        condition = random_formula(rng, atoms, 1)
+        if rng.random() < 0.5:
+            # Assertions of a disjunction over held atoms rarely annihilate.
+            condition = Or([condition, Atom(rng.choice(list(atoms)))])
+        return update_to_dict(Assert_(condition))
+
+    def _open_text(
+        self, atoms: Sequence[GroundAtom], predicates: Sequence[Predicate]
+    ) -> str:
+        """An open statement whose variable is range-restricted by design."""
+        rng = self.rng
+        predicate = rng.choice(list(predicates))
+        position = rng.randrange(predicate.arity)
+
+        def template_atom() -> str:
+            args = [
+                "?x" if index == position else str(rng.choice(self.constants))
+                for index in range(predicate.arity)
+            ]
+            return f"{predicate.name}({', '.join(args)})"
+
+        body = template_atom()
+        clause = template_atom()
+        if rng.random() < 0.5:
+            return f"INSERT {body} WHERE {clause}"
+        if rng.random() < 0.5:
+            return f"DELETE {body} WHERE {clause}"
+        return f"INSERT !{body} WHERE {clause}"
+
+    # -- assembly -----------------------------------------------------------------
+
+    def draw_case(self, *, allow_schema: bool, allow_dependencies: bool) -> FuzzCase:
+        schema_spec = self.draw_schema() if allow_schema else None
+        predicates = self.predicates(schema_spec)
+        dependencies = (
+            self.draw_dependencies(predicates) if allow_dependencies else []
+        )
+        schema = schema_from_dict(schema_spec) if schema_spec else None
+        atoms = self.draw_atoms(predicates)
+        facts = self.draw_facts(atoms, schema)
+        statements = [
+            self.draw_statement(atoms, predicates)
+            for _ in range(self.rng.randint(1, self.config.max_statements))
+        ]
+        from repro.persist import dependency_to_dict
+
+        return FuzzCase(
+            schema=schema_spec,
+            dependencies=[dependency_to_dict(d) for d in dependencies],
+            facts=facts,
+            statements=statements,
+        )
+
+
+def case_is_legal(case: FuzzCase, *, require_worlds: bool = True) -> bool:
+    """GUA's Section 3.5 precondition plus a non-degenerate starting point.
+
+    The generator rejection-samples against this, and the shrinker refuses
+    any reduction that leaves it — a counterexample whose *initial theory*
+    already violates a dependency axiom says nothing about GUA, whose
+    correctness claim is conditional on a legal start state.
+    """
+    theory = case.initial_theory()
+    if not theory.is_consistent():
+        return False
+    if (case.schema or case.dependencies) and not theory.satisfies_axiom_invariant():
+        return False
+    if require_worlds:
+        worlds = theory.alternative_worlds(limit=1)
+        if next(iter(worlds), None) is None:
+            return False
+    return True
+
+
+def generate_case(seed: int, config: Optional[FuzzConfig] = None) -> FuzzCase:
+    """Generate one legal :class:`FuzzCase`, deterministically from *seed*.
+
+    Rejection-samples against the GUA legality precondition, relaxing the
+    draw (drop dependencies, then the schema) if the budget runs out, so a
+    case is always returned.
+    """
+    config = config or FuzzConfig()
+    rng = random.Random(seed)
+    stages: Tuple[Tuple[bool, bool], ...] = (
+        (True, True),
+        (True, False),
+        (False, False),
+    )
+    case = None
+    for allow_schema, allow_dependencies in stages:
+        for _ in range(config.legality_attempts):
+            draw = _Draw(rng, config)
+            case = draw.draw_case(
+                allow_schema=allow_schema,
+                allow_dependencies=allow_dependencies,
+            )
+            if case_is_legal(case):
+                case.seed = seed
+                return case
+    # Last resort: a minimal always-legal case (cannot fail legality).
+    case = FuzzCase(
+        facts=["P0(c1)"],
+        statements=[{"op": "insert", "body": "P0(c2)", "where": "T"}],
+        seed=seed,
+    )
+    return case
+
+
+def generate_cases(
+    seed: int, count: int, config: Optional[FuzzConfig] = None
+) -> List[FuzzCase]:
+    """*count* cases with per-case sub-seeds derived from *seed*."""
+    return [
+        generate_case(seed * 1_000_003 + index, config) for index in range(count)
+    ]

@@ -1,0 +1,221 @@
+"""Delta-debugging minimizer for failing fuzz cases.
+
+A raw counterexample from the generator carries noise: statements after the
+divergence, facts that never mattered, formula branches the failure does
+not need.  :func:`shrink_case` greedily removes structure while a caller
+supplied predicate keeps reporting "still fails", converging on a local
+minimum — typically a couple of wffs and one or two statements, small
+enough to read as a paper example.
+
+The reduction moves, tried largest-win-first each round:
+
+1. drop trailing, then arbitrary, script statements;
+2. drop initial-theory facts;
+3. drop dependencies, then the schema;
+4. shrink individual formulas (selection clauses, bodies, facts) to ``T``
+   or to one of their proper subformulas;
+5. drop pairs from simultaneous updates.
+
+:func:`emit_pytest` renders the survivor as a self-contained pytest module
+for the regression corpus in ``tests/qa/corpus/``.
+"""
+
+from __future__ import annotations
+
+import pprint
+import re
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.logic.parser import parse
+from repro.logic.printer import to_text
+from repro.qa.generate import FuzzCase, case_is_legal
+
+
+def _size(formula) -> int:
+    return sum(1 for _ in formula.walk())
+
+
+def _formula_candidates(text: str) -> List[str]:
+    """Strictly smaller replacements for one formula, best-first."""
+    formula = parse(text)
+    candidates: List[str] = []
+    if text != "T":
+        candidates.append("T")
+    seen = {text, "T"}
+    for sub in sorted(
+        {g for g in formula.walk() if g is not formula}, key=_size
+    ):
+        rendered = to_text(sub)
+        if rendered not in seen:
+            seen.add(rendered)
+            candidates.append(rendered)
+    return candidates
+
+
+def _copy(case: FuzzCase, **overrides) -> FuzzCase:
+    data = {
+        "schema": case.schema,
+        "dependencies": list(case.dependencies),
+        "facts": list(case.facts),
+        "statements": [dict(s) for s in case.statements],
+        "seed": case.seed,
+        "note": case.note,
+    }
+    data.update(overrides)
+    return FuzzCase(**data)
+
+
+def _without(items: List[Any], index: int) -> List[Any]:
+    return items[:index] + items[index + 1:]
+
+
+def _statement_variants(case: FuzzCase) -> Iterator[FuzzCase]:
+    # Trailing statements first: the oracle stops at the first divergence,
+    # so everything after it is dead weight and drops in one pass.
+    for index in reversed(range(len(case.statements))):
+        yield _copy(case, statements=_without(case.statements, index))
+
+
+def _fact_variants(case: FuzzCase) -> Iterator[FuzzCase]:
+    for index in range(len(case.facts)):
+        yield _copy(case, facts=_without(case.facts, index))
+
+
+def _structure_variants(case: FuzzCase) -> Iterator[FuzzCase]:
+    for index in range(len(case.dependencies)):
+        yield _copy(case, dependencies=_without(case.dependencies, index))
+    if case.schema is not None:
+        yield _copy(case, schema=None)
+
+
+#: statement-spec formula fields the shrinker may rewrite, per op.
+_FORMULA_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "insert": ("where", "body"),
+    "delete": ("where",),
+    "modify": ("where", "body"),
+    "assert": ("condition",),
+}
+
+
+def _formula_variants(case: FuzzCase) -> Iterator[FuzzCase]:
+    for index, spec in enumerate(case.statements):
+        op = spec.get("op")
+        if op == "simultaneous":
+            pairs = spec["pairs"]
+            if len(pairs) > 1:
+                for drop in range(len(pairs)):
+                    statements = [dict(s) for s in case.statements]
+                    statements[index] = {
+                        "op": "simultaneous",
+                        "pairs": _without(pairs, drop),
+                    }
+                    yield _copy(case, statements=statements)
+            for pair_index, pair in enumerate(pairs):
+                for field in ("where", "body"):
+                    for candidate in _formula_candidates(pair[field]):
+                        statements = [dict(s) for s in case.statements]
+                        new_pairs = [dict(p) for p in pairs]
+                        new_pairs[pair_index][field] = candidate
+                        statements[index] = {
+                            "op": "simultaneous",
+                            "pairs": new_pairs,
+                        }
+                        yield _copy(case, statements=statements)
+            continue
+        if op == "open":
+            continue  # surface text with ?vars; dropping it is the only move
+        for field in _FORMULA_FIELDS.get(op, ()):
+            for candidate in _formula_candidates(spec[field]):
+                statements = [dict(s) for s in case.statements]
+                statements[index] = {**spec, field: candidate}
+                yield _copy(case, statements=statements)
+    for index, fact in enumerate(case.facts):
+        for candidate in _formula_candidates(fact):
+            facts = list(case.facts)
+            facts[index] = candidate
+            yield _copy(case, facts=facts)
+
+
+def _variants(case: FuzzCase) -> Iterator[FuzzCase]:
+    yield from _statement_variants(case)
+    yield from _fact_variants(case)
+    yield from _structure_variants(case)
+    yield from _formula_variants(case)
+
+
+def shrink_case(
+    case: FuzzCase,
+    fails: Callable[[FuzzCase], bool],
+    *,
+    max_steps: int = 200,
+    registry=None,
+) -> Tuple[FuzzCase, int]:
+    """Minimize *case* while ``fails(case)`` stays true.
+
+    ``fails`` is the caller's failure predicate — typically
+    ``lambda c: not run_case(c, checks).ok``, optionally under a
+    :func:`~repro.qa.plant.planted_bug`.  Returns the minimized case and
+    the number of successful reduction steps.  The input case is returned
+    unchanged (0 steps) if it does not fail to begin with.
+
+    A reduction is accepted only if the variant both still fails *and*
+    stays legal (:func:`~repro.qa.generate.case_is_legal`): dropping a
+    fact can leave an initial theory that already violates a dependency
+    axiom, and a "counterexample" outside GUA's precondition proves
+    nothing.
+    """
+    from repro.obs import span
+
+    if not fails(case):
+        return case, 0
+    steps = 0
+    with span("qa.shrink", seed=case.seed):
+        progress = True
+        while progress and steps < max_steps:
+            progress = False
+            for variant in _variants(case):
+                if case_is_legal(variant) and fails(variant):
+                    case = variant
+                    case.note = case.note or "shrunk by repro.qa.shrink"
+                    steps += 1
+                    progress = True
+                    break  # rescan from the top of the move list
+    if registry is not None:
+        registry.counter("qa.shrink.steps").inc(steps)
+        registry.counter("qa.shrink.cases").inc()
+    return case, steps
+
+
+def _slug(text: str) -> str:
+    cleaned = re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+    return cleaned or "case"
+
+
+def emit_pytest(
+    case: FuzzCase,
+    note: str = "",
+    *,
+    name: Optional[str] = None,
+    checks: Optional[Tuple[str, ...]] = None,
+) -> str:
+    """Render *case* as a self-contained pytest regression module."""
+    test_name = _slug(name or note or f"seed_{case.seed}")
+    spec = pprint.pformat(case.to_dict(), indent=1, width=76, sort_dicts=True)
+    checks_arg = f", checks={checks!r}" if checks else ""
+    header = note or "Auto-generated regression from the QA fuzzer."
+    return f'''"""{header}
+
+Replays a shrunk counterexample through every backend and the S-set
+oracle; see :mod:`repro.qa.oracle` for what is compared.
+"""
+
+from repro.qa.generate import FuzzCase
+from repro.qa.oracle import run_case
+
+CASE = FuzzCase.from_dict({spec})
+
+
+def test_{test_name}():
+    report = run_case(CASE{checks_arg})
+    assert report.ok, report.summary()
+'''

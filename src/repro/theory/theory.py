@@ -31,6 +31,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -104,6 +105,10 @@ class ExtendedRelationalTheory:
         # arena node id — membership is one int-dict probe, no structural
         # hashing of the instance.
         self._axiom_instances: Dict[int, Formula] = {}
+        # Reverse index atom -> registered instance keys, so a Step 2 rename
+        # can evict exactly the instances it made stale (see
+        # invalidate_axiom_instances) without scanning the registry.
+        self._axiom_instances_by_atom: Dict[GroundAtom, Set[int]] = {}
         self._fd_key_indexes: Dict[int, object] = {}
         #: Shared work counters for every solver this theory spins up
         #: (consistency, world enumeration, and the query layer thread it).
@@ -151,6 +156,7 @@ class ExtendedRelationalTheory:
         # Rebuilding the store resets its arrival log; derived caches (the
         # FD key indexes, the GUA axiom-instance registry) would be stale.
         self._axiom_instances.clear()
+        self._axiom_instances_by_atom.clear()
         self._fd_key_indexes.clear()
 
     @property
@@ -164,18 +170,53 @@ class ExtendedRelationalTheory:
         """Deduplicate Step 5/6 axiom instances across updates.
 
         Returns True the first time *instance* is seen (the caller should add
-        it to the section), False on repeats.  Renames can make entries
-        syntactically stale; the worst case is re-adding a logically
-        redundant wff — harmless (and counted by the benches).
+        it to the section), False on repeats.
 
         Hash-consing makes "same instance" the same object, so the check is
         an identity probe on the arena node id.
+
+        A Step 2 rename rewrites the in-theory copy of an instance to refer
+        to a *historical* constant, so the registered form no longer
+        constrains the current atoms; the renamer must call
+        :meth:`invalidate_axiom_instances` for each renamed atom, or a later
+        Step 5/6 would skip re-adding a constraint the theory genuinely
+        lost (found by the QA differential fuzzer: an FD instance silently
+        stopped applying after its atom was re-inserted).
         """
         key = instance.arena_id
         if key in self._axiom_instances:
             return False
         self._axiom_instances[key] = instance
+        for atom in instance.ground_atoms():
+            self._axiom_instances_by_atom.setdefault(atom, set()).add(key)
         return True
+
+    def invalidate_axiom_instances(self, atom: GroundAtom) -> int:
+        """Evict registered Step 5/6 instances that mention *atom*.
+
+        Called by GUA's Step 2 when *atom*'s occurrences are renamed to a
+        fresh historical constant: the in-theory copies of those instances
+        now speak about the old value, so the instances must be eligible
+        for re-instantiation against the new one.  Returns the number
+        evicted.
+        """
+        keys = self._axiom_instances_by_atom.pop(atom, None)
+        if not keys:
+            return 0
+        evicted = 0
+        for key in keys:
+            instance = self._axiom_instances.pop(key, None)
+            if instance is None:
+                continue
+            evicted += 1
+            for other in instance.ground_atoms():
+                if other is not atom:
+                    bucket = self._axiom_instances_by_atom.get(other)
+                    if bucket is not None:
+                        bucket.discard(key)
+                        if not bucket:
+                            del self._axiom_instances_by_atom[other]
+        return evicted
 
     def fd_key_index(self, dependency, factory):
         """The per-dependency key index for incremental Step 6 (memoized)."""
@@ -203,6 +244,10 @@ class ExtendedRelationalTheory:
         """
         self.replace_formulas(snapshot.formulas)
         self._axiom_instances = {f.arena_id: f for f in snapshot.axiom_instances}
+        self._axiom_instances_by_atom = {}
+        for key, instance in self._axiom_instances.items():
+            for atom in instance.ground_atoms():
+                self._axiom_instances_by_atom.setdefault(atom, set()).add(key)
 
     # -- derived structure -----------------------------------------------------------
 

@@ -1,0 +1,60 @@
+"""The ``repro fuzz`` command: exit codes, planted-bug mode, emission."""
+
+import io
+
+from repro.cli import main
+from repro.qa.cli import fuzz_main
+
+
+def _run(argv):
+    out = io.StringIO()
+    status = fuzz_main(argv, out=out)
+    return status, out.getvalue()
+
+
+def test_healthy_batch_exits_zero():
+    status, text = _run(["--seed", "7", "--cases", "15"])
+    assert status == 0
+    assert "0 with discrepancies" in text
+
+
+def test_planted_bug_mode_inverts_exit():
+    # Detection of the planted bug is the success condition.
+    status, text = _run(
+        ["--seed", "0", "--cases", "30", "--plant", "step4-skip",
+         "--no-shrink", "--progress-every", "0"]
+    )
+    assert status == 0
+    assert "detected" in text
+
+
+def test_planted_bug_failures_are_shrunk(tmp_path):
+    status, text = _run(
+        ["--seed", "0", "--cases", "30", "--plant", "step4-drop-guard",
+         "--emit-dir", str(tmp_path), "--progress-every", "0"]
+    )
+    assert status == 0
+    assert "shrunk in" in text
+    emitted = list(tmp_path.glob("test_repro_seed_*.py"))
+    assert emitted, "--emit-dir must write pytest reproducers"
+    assert list(tmp_path.glob("repro_seed_*.json"))
+
+
+def test_metrics_flag_prints_registry():
+    status, text = _run(["--seed", "7", "--cases", "3", "--metrics"])
+    assert status == 0
+    assert "qa.cases" in text
+
+
+def test_main_dispatches_fuzz_subcommand(capsys):
+    status = main(["fuzz", "--seed", "7", "--cases", "2"])
+    assert status == 0
+    assert "0 with discrepancies" in capsys.readouterr().out
+
+
+def test_check_filter_accepted():
+    status, _ = _run(
+        ["--seed", "7", "--cases", "5", "--check", "diagram",
+         "--check", "backends"]
+    )
+    assert status == 0

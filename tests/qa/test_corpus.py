@@ -1,0 +1,27 @@
+"""Replay the shrunk-regression corpus through the differential oracle.
+
+Every ``corpus/*.json`` is a :class:`repro.qa.generate.FuzzCase` that once
+exposed a real bug (or exercises a configuration the generator only rarely
+draws).  Each must now run with zero discrepancies across all backends and
+the S-set semantics; a failure here is a regression of a previously fixed
+divergence.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa import FuzzCase, run_case
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, "tests/qa/corpus/ must hold at least one case"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_case(path):
+    case = FuzzCase.from_json(path.read_text())
+    report = run_case(case)
+    assert report.ok, f"{path.name}: {report.summary()}\n{case.describe()}"

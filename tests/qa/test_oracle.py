@@ -1,0 +1,111 @@
+"""The differential oracle: agreement on healthy code, detection on bugs."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.qa import FuzzCase, generate_case, run_case
+from repro.qa.oracle import DEFAULT_CHECKS
+
+
+def test_first_seeds_agree_everywhere():
+    for seed in range(15):
+        report = run_case(generate_case(seed))
+        assert report.ok, f"seed {seed}: {report.summary()}"
+
+
+def test_report_counts_statements():
+    case = FuzzCase(
+        facts=["P0(c1)"],
+        statements=[
+            {"op": "insert", "body": "P0(c2)", "where": "T"},
+            {"op": "delete", "target": "P0(c1)", "where": "T"},
+        ],
+    )
+    report = run_case(case)
+    assert report.ok
+    assert report.statements_applied == 2
+    assert report.statements_skipped == 0
+
+
+def test_uniform_rejection_is_skipped_not_flagged():
+    # An open update with no applicable bindings raises on every backend;
+    # the oracle must treat that as a uniformly skipped statement.
+    case = FuzzCase(
+        facts=["P0(c1)"],
+        statements=[{"op": "open", "text": "INSERT Q0(?x) WHERE Q0(?x)"}],
+    )
+    report = run_case(case)
+    assert report.ok
+    assert report.statements_skipped == 1
+    assert report.statements_applied == 0
+
+
+def test_unknown_check_rejected():
+    with pytest.raises(ValueError):
+        run_case(generate_case(0), checks=("diagram", "nonsense"))
+
+
+def test_check_subset_runs():
+    report = run_case(generate_case(0), checks=("diagram",))
+    assert report.ok
+
+
+def test_world_cap_skips_instead_of_exploding():
+    # A 6-atom tautology branches into 2**6 worlds; cap far below that.
+    case = FuzzCase(
+        facts=["P0(c1)"],
+        statements=[
+            {
+                "op": "insert",
+                "body": "(P0(c1) | !P0(c1)) & (P0(c2) | !P0(c2)) & "
+                "(P0(c3) | !P0(c3)) & (P0(c4) | !P0(c4)) & "
+                "(P1(c1) | !P1(c1)) & (P1(c2) | !P1(c2))",
+                "where": "T",
+            }
+        ],
+    )
+    report = run_case(case, world_cap=8)
+    assert report.ok  # skipped, never wrongly flagged
+    assert report.checks_skipped > 0
+
+
+def test_metrics_registry_fed():
+    registry = MetricsRegistry()
+    run_case(generate_case(0), registry=registry)
+    snapshot = registry.snapshot()
+    assert snapshot.get("qa.cases") == 1
+    assert "qa.discrepancies" not in snapshot  # healthy case: counter untouched
+
+
+def test_all_default_checks_are_runnable():
+    report = run_case(generate_case(1), checks=DEFAULT_CHECKS)
+    assert report.ok
+
+
+def test_persist_check_covers_simultaneous_journal():
+    case = FuzzCase(
+        facts=["P0(c1)"],
+        statements=[
+            {
+                "op": "simultaneous",
+                "pairs": [
+                    {"where": "P0(c1)", "body": "P0(c2)"},
+                    {"where": "T", "body": "P0(c3)"},
+                ],
+            }
+        ],
+    )
+    report = run_case(case, checks=("persist",))
+    assert report.ok, report.summary()
+
+
+def test_diagram_catches_planted_bug():
+    from repro.qa.plant import planted_bug
+
+    with planted_bug("step4-skip"):
+        failed = [
+            seed
+            for seed in range(40)
+            if not run_case(generate_case(seed), checks=("diagram",)).ok
+        ]
+    assert failed, "a missing Step 4 must surface as a diagram discrepancy"

@@ -1,0 +1,68 @@
+"""Mutation testing: the oracle must catch every planted GUA bug, and the
+shrinker must reduce each catch to a tiny reproducer.
+
+This is the subsystem's own acceptance test — a fuzzer whose oracle cannot
+see a known-broken Step 4 would be decorative.
+"""
+
+import pytest
+
+from repro.core.gua import GuaExecutor
+from repro.qa import generate_case, run_case, shrink_case
+from repro.qa.plant import PLANTED_BUGS, planted_bug
+
+#: Fuzzing budget per bug; every planted bug falls well inside it.
+SEED_BUDGET = 60
+
+
+def _first_failure(checks=None):
+    for seed in range(SEED_BUDGET):
+        case = generate_case(seed)
+        if not run_case(case, checks).ok:
+            return case
+    return None
+
+
+@pytest.mark.parametrize("bug", sorted(PLANTED_BUGS))
+def test_oracle_catches_planted_bug(bug):
+    with planted_bug(bug):
+        case = _first_failure()
+    assert case is not None, f"{bug} survived {SEED_BUDGET} seeds undetected"
+    # The same case must pass with the bug removed — the failure is the
+    # mutation's, not the generator's.
+    assert run_case(case).ok
+
+
+def test_planted_bug_shrinks_to_tiny_reproducer():
+    bug = "step4-drop-guard"
+    with planted_bug(bug):
+        case = _first_failure()
+        assert case is not None
+        shrunk, steps = shrink_case(case, lambda c: not run_case(c).ok)
+    assert steps > 0
+    assert shrunk.wff_count <= 5
+    assert shrunk.statement_count <= 3
+    # Post-fix (bug removed) the reproducer passes: it is a regression
+    # test waiting to happen.
+    assert run_case(shrunk).ok
+
+
+def test_planted_bug_restores_original_step4():
+    original = GuaExecutor._step4_restrict
+    with planted_bug("step4-skip"):
+        assert GuaExecutor._step4_restrict is not original
+    assert GuaExecutor._step4_restrict is original
+
+
+def test_planted_bug_restores_on_error():
+    original = GuaExecutor._step4_restrict
+    with pytest.raises(RuntimeError):
+        with planted_bug("step4-skip"):
+            raise RuntimeError("boom")
+    assert GuaExecutor._step4_restrict is original
+
+
+def test_unknown_bug_name_rejected():
+    with pytest.raises(ValueError):
+        with planted_bug("step9-imaginary"):
+            pass

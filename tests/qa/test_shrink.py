@@ -1,0 +1,122 @@
+"""The shrinker: convergence, legality preservation, pytest emission."""
+
+from repro.qa import FuzzCase, case_is_legal
+from repro.qa.shrink import _formula_candidates, emit_pytest, shrink_case
+
+
+def _case_with_noise():
+    return FuzzCase(
+        facts=["P0(c1)", "P0(c2) | P0(c3)", "!P0(c4)"],
+        statements=[
+            {"op": "insert", "body": "P0(c2)", "where": "P0(c1) & P0(c1)"},
+            {"op": "insert", "body": "P0(c3)", "where": "T"},
+            {"op": "assert", "condition": "P0(c1) | P0(c2)"},
+        ],
+        seed=42,
+    )
+
+
+def test_shrink_non_failing_case_is_identity():
+    case = _case_with_noise()
+    shrunk, steps = shrink_case(case, lambda c: False)
+    assert steps == 0
+    assert shrunk is case
+
+
+def test_shrink_removes_irrelevant_structure():
+    # Failure predicate: "the script still inserts P0(c3)" — everything
+    # else is noise the shrinker should strip.
+    def fails(case):
+        return any(
+            spec.get("op") == "insert" and spec.get("body") == "P0(c3)"
+            for spec in case.statements
+        )
+
+    shrunk, steps = shrink_case(_case_with_noise(), fails)
+    assert steps > 0
+    assert shrunk.statement_count == 1
+    assert shrunk.wff_count == 0
+    assert fails(shrunk)
+
+
+def test_shrink_preserves_legality():
+    # The negated fact is what keeps the FD invariant satisfied: without it
+    # the disjunction admits a world holding both tuples, which violates
+    # the dependency.  A failure predicate that only cares about the
+    # disjunction would tempt the shrinker to drop the guard fact — the
+    # legality check must refuse that reduction.
+    case = FuzzCase(
+        dependencies=[
+            {
+                "kind": "fd",
+                "relation": "P0",
+                "arity": 2,
+                "determinant": [1],
+                "dependent": [0],
+            }
+        ],
+        facts=["!P0(c2,c3)", "P0(c1,c3) | P0(c2,c3)"],
+        statements=[],
+        seed=1,
+    )
+    assert case_is_legal(case)
+
+    def fails(c):
+        return any("|" in fact for fact in c.facts) and bool(c.dependencies)
+
+    shrunk, _ = shrink_case(case, fails)
+    assert fails(shrunk)
+    assert case_is_legal(shrunk)
+    # The guard fact survived even though the predicate never asked for it.
+    assert any(fact.startswith("!") for fact in shrunk.facts)
+
+
+def test_formula_candidates_are_smaller():
+    candidates = _formula_candidates("P0(c1) & (P0(c2) | !P0(c3))")
+    assert "T" in candidates
+    assert "P0(c1)" in candidates
+    original = "P0(c1) & (P0(c2) | !P0(c3))"
+    assert original not in candidates
+
+
+def test_shrink_simplifies_where_clauses():
+    def fails(case):
+        return any(
+            spec.get("op") == "insert" and spec.get("body") == "P0(c2)"
+            for spec in case.statements
+        )
+
+    case = FuzzCase(
+        facts=["P0(c1)"],
+        statements=[
+            {
+                "op": "insert",
+                "body": "P0(c2)",
+                "where": "P0(c1) & (P0(c1) | P0(c2))",
+            }
+        ],
+    )
+    shrunk, _ = shrink_case(case, fails)
+    assert shrunk.statements[0]["where"] == "T"
+
+
+def test_emit_pytest_is_self_contained():
+    case = FuzzCase(
+        facts=["P0(c1)"],
+        statements=[{"op": "insert", "body": "P0(c2)", "where": "T"}],
+        seed=9,
+        note="emission test",
+    )
+    source = emit_pytest(case, note="emission test")
+    assert "FuzzCase.from_dict(" in source
+    assert "def test_emission_test" in source
+    # The module must execute standalone and its test must pass.
+    namespace = {}
+    exec(compile(source, "<emitted>", "exec"), namespace)
+    namespace["test_emission_test"]()
+
+
+def test_emit_pytest_passes_checks_through():
+    case = FuzzCase(facts=["P0(c1)"], statements=[], seed=1)
+    source = emit_pytest(case, name="only_diagram", checks=("diagram",))
+    assert "checks=('diagram',)" in source
